@@ -1,0 +1,36 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables/figures, prints the
+paper-style rows, and appends them to ``benchmarks/results/`` so the
+output survives pytest's capture.  Benchmarks run the experiment once
+(``benchmark.pedantic(rounds=1)``) — the interesting output is the rows,
+not the harness's wall time.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir, request):
+    """Print a block of result lines and persist them per-benchmark."""
+
+    def _emit(title: str, lines: list[str]) -> None:
+        block = [f"== {title} =="] + lines
+        text = "\n".join(block)
+        print("\n" + text)
+        out = results_dir / f"{request.node.name}.txt"
+        out.write_text(text + "\n")
+
+    return _emit

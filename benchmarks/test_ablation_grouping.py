@@ -1,0 +1,85 @@
+"""Ablation (beyond the paper's figures): grouped vs singleton IKJTs.
+
+Grouped IKJTs (§4.2) share one inverse_lookup across synchronously
+updated features.  This bench quantifies the two effects: (a) the wire/
+memory saving from shipping one lookup instead of k, and (b) the convert
+saving from hashing the group jointly vs per-feature — plus the risk:
+grouping *weakens* dedup when members are not perfectly synchronized.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import InverseKeyedJaggedTensor, KeyedJaggedTensor
+
+
+def _grouped_batch(rng, batch=2048, sync=True):
+    """Two features updated (a)synchronously across session-like runs."""
+    rows = []
+    a = b = None
+    for i in range(batch):
+        if i % 12 == 0 or a is None:
+            a = rng.integers(0, 10**6, size=16).tolist()
+            b = rng.integers(0, 10**6, size=16).tolist()
+        elif not sync and i % 5 == 0:
+            b = rng.integers(0, 10**6, size=16).tolist()
+        rows.append({"a": a, "b": b})
+    return KeyedJaggedTensor.from_rows(rows)
+
+
+def test_grouping_saves_lookup_bytes_when_synchronized(benchmark, emit):
+    rng = np.random.default_rng(2)
+    kjt = _grouped_batch(rng, sync=True)
+
+    def build():
+        grouped = InverseKeyedJaggedTensor.from_kjt(kjt, ["a", "b"])
+        solo = [
+            InverseKeyedJaggedTensor.from_kjt(kjt, [k]) for k in ("a", "b")
+        ]
+        return grouped, solo
+
+    grouped, solo = benchmark.pedantic(build, rounds=1, iterations=1)
+    solo_bytes = sum(s.nbytes for s in solo)
+    lines = [
+        f"grouped IKJT bytes   : {grouped.nbytes}",
+        f"2x singleton bytes   : {solo_bytes}",
+        f"inverse_lookups saved: {sum(s.inverse_lookup.nbytes for s in solo) - grouped.inverse_lookup.nbytes}",
+        f"grouped dedupe factor: {grouped.dedupe_factor():.2f}",
+    ]
+    emit("Grouping ablation — synchronized", lines)
+    # synchronized features: grouping strictly saves (one lookup, same dedup)
+    assert grouped.nbytes < solo_bytes
+    assert grouped.dedupe_factor() == pytest.approx(
+        solo[0].dedupe_factor(), rel=0.01
+    )
+
+
+def test_grouping_weakens_dedup_when_unsynchronized(benchmark, emit):
+    rng = np.random.default_rng(3)
+    kjt = _grouped_batch(rng, sync=False)
+    grouped, solo_a = benchmark.pedantic(
+        lambda: (
+            InverseKeyedJaggedTensor.from_kjt(kjt, ["a", "b"]),
+            InverseKeyedJaggedTensor.from_kjt(kjt, ["a"]),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        f"solo feature-a dedupe factor : {solo_a.dedupe_factor():.2f}",
+        f"grouped (a,b) dedupe factor  : {grouped.dedupe_factor():.2f}",
+    ]
+    emit("Grouping ablation — unsynchronized", lines)
+    # the §4.2 invariant: unsynchronized rows stay un-deduplicated, so the
+    # group's factor drops below the solo factor — engineers should only
+    # group features that really update together.
+    assert grouped.dedupe_factor() < solo_a.dedupe_factor()
+    # but correctness is never at risk
+    assert grouped.to_kjt() == kjt
+
+
+def test_grouping_benchmark_convert(benchmark):
+    rng = np.random.default_rng(4)
+    kjt = _grouped_batch(rng, sync=True, batch=1024)
+    out = benchmark(InverseKeyedJaggedTensor.from_kjt, kjt, ["a", "b"])
+    assert out.batch_size == 1024

@@ -1,0 +1,84 @@
+"""Microbenchmarks of the core kernels (real timed rounds).
+
+These are the operations RecD adds to the hot path: duplicate detection
+during feature conversion (O3), jagged index select (O6) vs the dense
+baseline it replaces, and the IKJT -> KJT expansion.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    InverseKeyedJaggedTensor,
+    JaggedTensor,
+    KeyedJaggedTensor,
+    dense_index_select,
+    jagged_index_select,
+)
+
+
+@pytest.fixture(scope="module")
+def batch_kjt():
+    """A 4096-row, session-duplicated single-feature batch."""
+    rng = np.random.default_rng(0)
+    rows = []
+    current = None
+    for i in range(4096):
+        if i % 16 == 0 or current is None:
+            current = rng.integers(0, 10**6, size=64).tolist()
+        rows.append({"f": current})
+    return KeyedJaggedTensor.from_rows(rows)
+
+
+@pytest.fixture(scope="module")
+def jagged_and_indices():
+    rng = np.random.default_rng(1)
+    jt = JaggedTensor.from_lists(
+        [rng.integers(0, 10**6, size=rng.integers(1, 64)).tolist()
+         for _ in range(512)]
+    )
+    idx = rng.integers(0, 512, size=4096)
+    return jt, idx
+
+
+def test_bench_ikjt_from_kjt(benchmark, batch_kjt):
+    """O3: dedup-by-hashing conversion cost per 4096-row batch."""
+    ikjt = benchmark(InverseKeyedJaggedTensor.from_kjt, batch_kjt, ["f"])
+    assert ikjt.dedupe_factor() > 10
+
+
+def test_bench_ikjt_to_kjt(benchmark, batch_kjt):
+    """IKJT -> KJT expansion (the trainer-side index select)."""
+    ikjt = InverseKeyedJaggedTensor.from_kjt(batch_kjt, ["f"])
+    out = benchmark(ikjt.to_kjt)
+    assert out == batch_kjt
+
+
+def test_bench_jagged_index_select(benchmark, jagged_and_indices):
+    """O6's kernel."""
+    jt, idx = jagged_and_indices
+    out = benchmark(jagged_index_select, jt, idx)
+    assert out.num_rows == idx.size
+
+
+def test_bench_dense_index_select(benchmark, jagged_and_indices):
+    """The pre-O6 baseline: pad-to-dense then gather (memory-hungry)."""
+    jt, idx = jagged_and_indices
+    out = benchmark(dense_index_select, jt, idx)
+    assert out.num_rows == idx.size
+
+
+def test_jagged_beats_dense_on_memory(benchmark, jagged_and_indices, emit):
+    """O6's motivation: the dense path materializes B x max_len."""
+    jt, idx = benchmark.pedantic(
+        lambda: jagged_and_indices, rounds=1, iterations=1
+    )
+    dense_cells = idx.size * int(jt.lengths.max())
+    jagged_cells = int(jt.lengths[idx].sum())
+    lines = [
+        f"dense intermediate cells  : {dense_cells}",
+        f"jagged gathered cells     : {jagged_cells}",
+        f"memory amplification      : {dense_cells / jagged_cells:.2f}x",
+    ]
+    emit("O6 memory amplification", lines)
+    assert dense_cells > jagged_cells

@@ -1,0 +1,77 @@
+"""The full Figure-1 pipeline, baseline vs RecD, side by side.
+
+Runs RM1 through every stage — inference logging, Scribe transport (O1),
+ETL join + clustering (O2), DWRF landing on Tectonic, the reader tier
+(O3/O4), and distributed training (O5–O7) — and prints a miniature
+version of Figure 7's end-to-end comparison.
+
+Run:  python examples/end_to_end_pipeline.py
+"""
+
+from repro.datagen import rm1
+from repro.pipeline import PipelineConfig, RecDToggles, run_pipeline
+
+
+def describe(tag: str, res) -> None:
+    bd = res.training.mean_breakdown
+    t = bd.total or 1.0
+    print(f"\n[{tag}]")
+    print(f"  samples landed            : {res.samples_landed}")
+    print(f"  scribe compression        : {res.scribe_compression:.2f}x")
+    print(f"  storage compression       : {res.storage_compression:.2f}x")
+    print(
+        f"  reader                    : {res.reader_qps:,.0f} samples/cpu-s, "
+        f"read {res.reader.read_bytes / 2**20:.1f} MB, "
+        f"sent {res.reader.send_bytes / 2**20:.1f} MB"
+    )
+    print(
+        f"  trainer                   : {res.trainer_qps:,.0f} samples/s "
+        f"(iteration: emb {bd.emb_lookup / t:.0%}, gemm {bd.gemm / t:.0%}, "
+        f"a2a {bd.a2a / t:.0%}, other {bd.other / t:.0%})"
+    )
+
+
+def main() -> None:
+    workload = rm1(scale=0.5)
+    print(
+        f"workload {workload.name}: "
+        f"{len(workload.schema.sparse)} sparse features, "
+        f"{len(workload.dedup_groups)} dedup groups, "
+        f"batch {workload.baseline_batch_size} -> {workload.recd_batch_size}"
+    )
+
+    base = run_pipeline(
+        PipelineConfig(
+            workload=workload,
+            toggles=RecDToggles.baseline(),
+            num_sessions=200,
+            train_batches=3,
+        )
+    )
+    describe("baseline", base)
+
+    recd = run_pipeline(
+        PipelineConfig(
+            workload=workload,
+            toggles=RecDToggles.full(),
+            num_sessions=200,
+            train_batches=3,
+        )
+    )
+    describe("RecD (O1-O7)", recd)
+
+    print("\n== end-to-end gains (Fig 7 shape) ==")
+    print(f"  trainer throughput : {recd.trainer_qps / base.trainer_qps:.2f}x  (paper RM1: 2.48x)")
+    print(f"  reader throughput  : {recd.reader_qps / base.reader_qps:.2f}x  (paper RM1: 1.79x)")
+    print(
+        "  storage compression: "
+        f"{recd.storage_compression / base.storage_compression:.2f}x  (paper RM1: 3.71x)"
+    )
+    print(
+        "  scribe compression : "
+        f"{recd.scribe_compression / base.scribe_compression:.2f}x  (paper: 1.50x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

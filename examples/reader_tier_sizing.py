@@ -1,0 +1,71 @@
+"""Reader-fleet sizing: RecD's reader wins translate to fewer machines.
+
+The deployed system scales the reader tier to match trainer ingestion
+bandwidth (§2.1); because RecD speeds up each reader (Fig 7: 1.79x for
+RM1) *and* speeds up the trainers it must feed, the fleet math changes
+on both sides.  This example measures both throughputs on a landed
+partition and prints the provisioning outcome.
+
+Run:  python examples/reader_tier_sizing.py
+"""
+
+from repro.datagen import rm1
+from repro.pipeline import PipelineConfig, RecDToggles, run_pipeline
+from repro.reader import ReaderTier, readers_required
+from repro.pipeline.runner import land_table
+
+
+def main() -> None:
+    w = rm1(scale=0.5)
+
+    results = {}
+    for name, toggles in [
+        ("baseline", RecDToggles.baseline()),
+        ("RecD", RecDToggles.full()),
+    ]:
+        res = run_pipeline(
+            PipelineConfig(
+                workload=w,
+                toggles=toggles,
+                num_sessions=200,
+                train_batches=2,
+            )
+        )
+        results[name] = res
+
+    print("per-node throughputs:")
+    for name, res in results.items():
+        print(
+            f"  {name:8s}: reader {res.reader_qps:10,.0f} samples/cpu-s, "
+            f"trainer {res.trainer_qps:10,.0f} samples/s"
+        )
+
+    print("\nreader fleet needed to keep trainers fed (10% headroom):")
+    for name, res in results.items():
+        plan = readers_required(res.trainer_qps, res.reader_qps)
+        print(
+            f"  {name:8s}: {plan.num_readers:4d} readers "
+            f"(trainers demand {plan.trainer_samples_per_s:,.0f}/s, "
+            f"each reader supplies {plan.reader_samples_per_s:,.0f}/s)"
+        )
+
+    # run an actual tier over the RecD partition to show the fleet works
+    cfg = PipelineConfig(
+        workload=w, toggles=RecDToggles.full(), num_sessions=200
+    )
+    table, _, _, partition, _ = land_table(cfg)
+    plan = readers_required(
+        results["RecD"].trainer_qps, results["RecD"].reader_qps
+    )
+    tier = ReaderTier(min(plan.num_readers, 8), cfg.dataloader_config())
+    batches = tier.run(table.open_readers("p0"))
+    print(
+        f"\ntier run: {len(tier.nodes)} readers processed "
+        f"{tier.report.samples} samples in {len(batches)} batches; "
+        f"modeled wall-clock {tier.wall_clock_seconds * 1e3:.1f} ms "
+        f"(vs {tier.report.cpu.total * 1e3:.1f} ms single-node CPU)"
+    )
+
+
+if __name__ == "__main__":
+    main()

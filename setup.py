@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel``, so PEP 660
+editable installs fail; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation``) works through this shim.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""repro — a full-pipeline reproduction of RecD (MLSys 2023).
+
+RecD (Recommendation Deduplication) is a suite of end-to-end
+infrastructure optimizations for DLRM training pipelines that exploit
+session-centric feature duplication.  This package reproduces the
+paper's primary contribution — the InverseKeyedJaggedTensor (IKJT)
+format and its reader/trainer integrations — together with every
+substrate the evaluation depends on: a synthetic session-overlap trace
+generator, a Scribe-like message bus, ETL jobs, a DWRF-like columnar
+store on an instrumented filesystem, a reader tier, a NumPy DLRM, and a
+hybrid-parallel distributed-training simulator.
+
+Quickstart::
+
+    from repro.pipeline import PipelineConfig, RecDToggles, run_pipeline
+    from repro.datagen import rm1
+
+    result = run_pipeline(
+        PipelineConfig(workload=rm1(scale=0.5), toggles=RecDToggles.full())
+    )
+    print(result.trainer_qps, result.storage_compression)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from . import (
+    core,
+    datagen,
+    distributed,
+    etl,
+    metrics,
+    pipeline,
+    reader,
+    scribe,
+    storage,
+    trainer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "datagen",
+    "scribe",
+    "etl",
+    "storage",
+    "reader",
+    "trainer",
+    "distributed",
+    "metrics",
+    "pipeline",
+    "__version__",
+]

@@ -1,0 +1,7 @@
+"""``python -m repro`` — run paper experiments from the shell."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,235 @@
+"""Command-line entry points: regenerate paper experiments from a shell.
+
+Usage::
+
+    python -m repro fig3
+    python -m repro fig7 --scale 0.5 --sessions 150
+    python -m repro ablation --scale 1.0
+    python -m repro pipeline --rm RM2 --recd
+    python -m repro list
+
+Each subcommand prints the same paper-style rows the benchmark harness
+writes to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .datagen import rm1, rm2, rm3
+from .pipeline import (
+    PipelineConfig,
+    RecDToggles,
+    dedupe_factor_model_sweep,
+    fig3_session_histogram,
+    fig4_duplication,
+    fig7_end_to_end,
+    fig8_iteration_breakdown,
+    fig9_ablation,
+    fig10_reader_cpu,
+    partial_vs_exact,
+    run_pipeline,
+    scribe_sharding_compression,
+    single_node_speedup,
+    table2_resource_util,
+    table3_reader_bytes,
+)
+
+__all__ = ["main", "build_parser"]
+
+_WORKLOADS = {"RM1": rm1, "RM2": rm2, "RM3": rm3}
+
+
+def _cmd_fig3(args) -> int:
+    res = fig3_session_histogram(num_sessions=args.sessions_large, seed=args.seed)
+    s = res.partition_stats
+    print(f"partition mean samples/session : {s['mean']:.2f} (paper 16.5)")
+    print(f"tail >1000                     : {s['tail_1000']:.0f} sessions")
+    print(f"batch mean interleaved         : {res.batch_mean_interleaved:.2f} (paper 1.15)")
+    print(f"batch mean clustered           : {res.batch_mean_clustered:.2f} (paper ~16.5)")
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    rep = fig4_duplication(num_sessions=args.sessions_large, seed=args.seed)
+    print(f"mean exact     : {rep.mean_exact:.3f} (paper 0.800)")
+    print(f"mean partial   : {rep.mean_partial:.3f} (paper 0.839)")
+    print(f"byte-wt exact  : {rep.byte_weighted_exact:.3f} (paper 0.816)")
+    print(f"byte-wt partial: {rep.byte_weighted_partial:.3f} (paper 0.894)")
+    return 0
+
+
+def _cmd_fig7(args) -> int:
+    rows = fig7_end_to_end(
+        scale=args.scale, num_sessions=args.sessions, seed=args.seed
+    )
+    print("RM    trainer  reader  storage")
+    for r in rows:
+        print(
+            f"{r.rm}   {r.trainer_x:6.2f}x {r.reader_x:6.2f}x "
+            f"{r.storage_x:6.2f}x"
+        )
+    return 0
+
+
+def _cmd_fig8(args) -> int:
+    rows = fig8_iteration_breakdown(
+        scale=args.scale, num_sessions=args.sessions, seed=args.seed
+    )
+    for r in rows:
+        n = r.recd_normalized
+        bt = r.baseline.total
+        print(
+            f"{r.rm}: emb {r.baseline.emb_lookup / bt:.2f}->{n['emb_lookup']:.2f} "
+            f"gemm {r.baseline.gemm / bt:.2f}->{n['gemm']:.2f} "
+            f"a2a {r.baseline.a2a / bt:.2f}->{n['a2a']:.2f} "
+            f"other {r.baseline.other / bt:.2f}->{n['other']:.2f}"
+        )
+    return 0
+
+
+def _cmd_fig9(args) -> int:
+    for s in fig9_ablation(scale=args.scale, num_sessions=args.sessions,
+                           seed=args.seed):
+        print(f"{s.label:24s} {s.normalized:6.2f}x")
+    return 0
+
+
+def _cmd_fig10(args) -> int:
+    for r in fig10_reader_cpu(scale=args.scale, num_sessions=args.sessions,
+                              seed=args.seed):
+        n = r.recd_normalized
+        print(
+            f"{r.rm}: fill->{n['fill']:.2f} convert->{n['convert']:.2f} "
+            f"process->{n['process']:.2f} total->{n['total']:.2f}"
+        )
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    for r in table2_resource_util(scale=args.scale, num_sessions=args.sessions,
+                                  seed=args.seed):
+        print(
+            f"{r.config:18s} qps {r.norm_qps:5.2f} "
+            f"max {100 * r.max_mem_util:5.1f}% avg {100 * r.avg_mem_util:5.1f}% "
+            f"eff {r.norm_compute_efficiency:5.2f}"
+        )
+    return 0
+
+
+def _cmd_table3(args) -> int:
+    for r in table3_reader_bytes(scale=args.scale, num_sessions=args.sessions,
+                                 seed=args.seed):
+        print(
+            f"{r.config:14s} read {r.read_bytes / 2**20:8.2f} MB  "
+            f"send {r.send_bytes / 2**20:8.2f} MB"
+        )
+    return 0
+
+
+def _cmd_scribe(args) -> int:
+    res = scribe_sharding_compression(
+        scale=args.scale, num_sessions=args.sessions, seed=args.seed
+    )
+    print(f"random  : {res['random']:.2f}x")
+    print(f"session : {res['session']:.2f}x")
+    return 0
+
+
+def _cmd_single_node(args) -> int:
+    res = single_node_speedup(
+        scale=args.scale, num_sessions=args.sessions, seed=args.seed
+    )
+    print(f"speedup: {res['speedup']:.2f}x (paper 2.18x)")
+    return 0
+
+
+def _cmd_dedupe_model(args) -> int:
+    for p in dedupe_factor_model_sweep(seed=args.seed):
+        print(
+            f"S={p.samples_per_session:<4.0f} d={p.d:<5.2f} "
+            f"modeled {p.modeled:6.2f} measured {p.measured:6.2f}"
+        )
+    return 0
+
+
+def _cmd_partial(args) -> int:
+    res = partial_vs_exact(num_sessions=args.sessions, seed=args.seed)
+    print(f"exact factor   : {res.exact_factor:.2f}x")
+    print(f"partial factor : {res.partial_factor:.2f}x")
+    return 0
+
+
+def _cmd_pipeline(args) -> int:
+    factory = _WORKLOADS[args.rm]
+    toggles = RecDToggles.full() if args.recd else RecDToggles.baseline()
+    res = run_pipeline(
+        PipelineConfig(
+            workload=factory(args.scale),
+            toggles=toggles,
+            num_sessions=args.sessions,
+            seed=args.seed,
+        )
+    )
+    mode = "RecD" if args.recd else "baseline"
+    print(f"{args.rm} ({mode}):")
+    print(f"  samples landed      : {res.samples_landed}")
+    print(f"  scribe compression  : {res.scribe_compression:.2f}x")
+    print(f"  storage compression : {res.storage_compression:.2f}x")
+    print(f"  reader throughput   : {res.reader_qps:,.0f} samples/cpu-s")
+    print(f"  trainer throughput  : {res.trainer_qps:,.0f} samples/s")
+    return 0
+
+
+_COMMANDS = {
+    "fig3": _cmd_fig3,
+    "fig4": _cmd_fig4,
+    "fig7": _cmd_fig7,
+    "fig8": _cmd_fig8,
+    "ablation": _cmd_fig9,
+    "fig10": _cmd_fig10,
+    "table2": _cmd_table2,
+    "table3": _cmd_table3,
+    "scribe": _cmd_scribe,
+    "single-node": _cmd_single_node,
+    "dedupe-model": _cmd_dedupe_model,
+    "partial": _cmd_partial,
+    "pipeline": _cmd_pipeline,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate RecD (MLSys 2023) experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    for name in _COMMANDS:
+        p = sub.add_parser(name, help=f"run the {name} experiment")
+        p.add_argument("--scale", type=float, default=0.5,
+                       help="workload scale factor (default 0.5)")
+        p.add_argument("--sessions", type=int, default=200,
+                       help="sessions in the generated partition")
+        p.add_argument("--sessions-large", type=int, default=50_000,
+                       help="sessions for statistics-only experiments")
+        p.add_argument("--seed", type=int, default=0)
+        if name == "pipeline":
+            p.add_argument("--rm", choices=sorted(_WORKLOADS), default="RM1")
+            p.add_argument("--recd", action="store_true",
+                           help="enable all RecD optimizations (O1-O7)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(_COMMANDS):
+            print(name)
+        return 0
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Analytical deduplication model and feature-selection heuristics (§4.2, §7).
+
+The paper models the value of deduplicating a feature ``f`` with::
+
+    DedupeLen(f)    = l(f) * B * (1 - (S - 1) / S * d(f))
+    DedupeFactor(f) = l(f) * B / DedupeLen(f)
+
+where ``S`` is the average samples per session, ``B`` the batch size,
+``d(f)`` the probability that ``f``'s value stays the same across adjacent
+rows, and ``l(f)`` the average list length.  ML engineers "typically start
+by deduplicating features with DedupeFactor(f) > 1.5" (§7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "dedupe_len",
+    "dedupe_factor",
+    "FeatureDedupStats",
+    "select_features_to_dedup",
+    "DEFAULT_DEDUPE_THRESHOLD",
+]
+
+#: The paper's rule-of-thumb threshold for "worth deduplicating" (§7).
+DEFAULT_DEDUPE_THRESHOLD = 1.5
+
+
+def dedupe_len(
+    avg_length: float, batch_size: int, samples_per_session: float, d: float
+) -> float:
+    """Expected deduplicated ``values`` length for one batch (§4.2).
+
+    Parameters mirror the paper: ``avg_length`` = l(f), ``batch_size`` = B,
+    ``samples_per_session`` = S, ``d`` = d(f).
+    """
+    if not 0.0 <= d <= 1.0:
+        raise ValueError(f"d must be a probability, got {d}")
+    if samples_per_session < 1:
+        raise ValueError("samples_per_session must be >= 1")
+    if batch_size < 0 or avg_length < 0:
+        raise ValueError("batch_size and avg_length must be non-negative")
+    s = samples_per_session
+    return avg_length * batch_size * (1.0 - (s - 1.0) / s * d)
+
+
+def dedupe_factor(
+    avg_length: float, batch_size: int, samples_per_session: float, d: float
+) -> float:
+    """Expected dedupe factor = original length / deduplicated length.
+
+    Note the factor is independent of ``l(f)`` and ``B`` (they cancel);
+    they are accepted to keep the signature parallel with the paper's
+    presentation and :func:`dedupe_len`.
+    """
+    dl = dedupe_len(avg_length, batch_size, samples_per_session, d)
+    total = avg_length * batch_size
+    if dl == 0:
+        return float("inf") if total else 1.0
+    if total == 0:
+        return 1.0
+    return total / dl
+
+
+@dataclass(frozen=True)
+class FeatureDedupStats:
+    """Per-feature statistics a characterization pass feeds the heuristic."""
+
+    name: str
+    avg_length: float
+    #: probability the value is unchanged across adjacent same-session rows
+    d: float
+
+    def factor(self, batch_size: int, samples_per_session: float) -> float:
+        return dedupe_factor(
+            self.avg_length, batch_size, samples_per_session, self.d
+        )
+
+
+def select_features_to_dedup(
+    stats: list[FeatureDedupStats],
+    batch_size: int,
+    samples_per_session: float,
+    threshold: float = DEFAULT_DEDUPE_THRESHOLD,
+) -> list[str]:
+    """The §7 heuristic: dedup features whose modeled factor > threshold.
+
+    Returns feature names in descending modeled-factor order, which is
+    also the order an engineer would trial them in.
+    """
+    chosen = [
+        (s.factor(batch_size, samples_per_session), s.name)
+        for s in stats
+        if s.factor(batch_size, samples_per_session) > threshold
+    ]
+    chosen.sort(key=lambda t: (-t[0], t[1]))
+    return [name for _, name in chosen]

@@ -1,0 +1,152 @@
+"""Duplicate detection for sparse feature batches.
+
+Readers detect duplicate feature values "via hashing" during feature
+conversion (§6.3).  This module implements that detection for a single
+feature and for *grouped* features (which must match on every feature in
+the group simultaneously — the shared ``inverse_lookup`` invariant of §4.2).
+
+The canonical output is a pair ``(unique_indices, inverse_lookup)``:
+
+* ``unique_indices`` — batch-row indices of the first occurrence of each
+  distinct value (in first-appearance order);
+* ``inverse_lookup`` — for every batch row, the position *within
+  unique_indices* of its canonical copy.
+
+so ``rows[unique_indices][inverse_lookup] == rows`` element-wise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from .jagged import JaggedTensor
+
+__all__ = [
+    "dedup_rows",
+    "dedup_grouped_rows",
+    "exact_duplicate_fraction",
+    "partial_duplicate_fraction",
+    "measured_dedupe_factor",
+]
+
+
+def _row_key(jt: JaggedTensor, i: int) -> bytes:
+    return jt.row(i).tobytes()
+
+
+def dedup_rows(jt: JaggedTensor) -> tuple[np.ndarray, np.ndarray]:
+    """Find duplicate rows of one jagged tensor via content hashing."""
+    seen: dict[bytes, int] = {}
+    unique: list[int] = []
+    inverse = np.empty(jt.num_rows, dtype=np.int64)
+    for i in range(jt.num_rows):
+        key = _row_key(jt, i)
+        pos = seen.get(key)
+        if pos is None:
+            pos = len(unique)
+            seen[key] = pos
+            unique.append(i)
+        inverse[i] = pos
+    return np.asarray(unique, dtype=np.int64), inverse
+
+
+def dedup_grouped_rows(
+    tensors: Sequence[JaggedTensor],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dedup rows across a *group* of features updated synchronously.
+
+    Two batch rows collapse only when **every** feature in the group has
+    identical values for both rows.  Rows whose group members were not
+    synchronously updated therefore stay un-deduplicated, preserving the
+    shared-``inverse_lookup`` invariant (§4.2, Grouped IKJTs).
+    """
+    if not tensors:
+        raise ValueError("need at least one tensor in the group")
+    n = tensors[0].num_rows
+    for t in tensors[1:]:
+        if t.num_rows != n:
+            raise ValueError("group members must share a batch size")
+    seen: dict[tuple[bytes, ...], int] = {}
+    unique: list[int] = []
+    inverse = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        key = tuple(_row_key(t, i) for t in tensors)
+        pos = seen.get(key)
+        if pos is None:
+            pos = len(unique)
+            seen[key] = pos
+            unique.append(i)
+        inverse[i] = pos
+    return np.asarray(unique, dtype=np.int64), inverse
+
+
+# ---------------------------------------------------------------------------
+# Characterization helpers (Section 3 of the paper)
+# ---------------------------------------------------------------------------
+
+
+def exact_duplicate_fraction(
+    rows: Sequence[Sequence[int]], session_ids: Sequence[int]
+) -> float:
+    """Fraction of samples whose feature value exactly matches another
+    sample *of the same session* (Fig 4, left).
+
+    A sample counts as a duplicate if at least one other sample in its
+    session carries the identical list; with ``k`` identical copies in a
+    session, ``k - 1`` of them are duplicates (the paper's 15.5/16.5
+    worked example).
+    """
+    if len(rows) != len(session_ids):
+        raise ValueError("rows and session_ids must align")
+    if not rows:
+        return 0.0
+    counts: dict[tuple[int, bytes], int] = {}
+    for sid, row in zip(session_ids, rows):
+        key = (sid, np.asarray(row, dtype=np.int64).tobytes())
+        counts[key] = counts.get(key, 0) + 1
+    dup = sum(c - 1 for c in counts.values())
+    return dup / len(rows)
+
+
+def partial_duplicate_fraction(
+    rows: Sequence[Sequence[int]], session_ids: Sequence[int]
+) -> float:
+    """Fraction of individual list IDs duplicated within a session (Fig 4,
+    right).
+
+    Counted per ID value: within one session, each extra occurrence of an
+    ID beyond its first is a duplicate (the paper's 99/200 = 49.5% worked
+    example for an appended-and-shifted list).
+    """
+    if len(rows) != len(session_ids):
+        raise ValueError("rows and session_ids must align")
+    per_session: dict[int, dict[int, int]] = {}
+    total = 0
+    for sid, row in zip(session_ids, rows):
+        bucket = per_session.setdefault(sid, {})
+        for v in np.asarray(row, dtype=np.int64):
+            bucket[int(v)] = bucket.get(int(v), 0) + 1
+            total += 1
+    if total == 0:
+        return 0.0
+    dup = sum(
+        c - 1 for bucket in per_session.values() for c in bucket.values()
+    )
+    return dup / total
+
+
+def measured_dedupe_factor(jt: JaggedTensor) -> float:
+    """Observed ratio of original to deduplicated ``values`` length.
+
+    The empirical counterpart of the analytical ``DedupeFactor(f)`` model
+    in :mod:`repro.core.analytics`; returns 1.0 for an all-unique batch.
+    """
+    if jt.total_values == 0:
+        return 1.0
+    unique_indices, _ = dedup_rows(jt)
+    dedup_len = int(jt.lengths[unique_indices].sum())
+    if dedup_len == 0:
+        return 1.0
+    return jt.total_values / dedup_len

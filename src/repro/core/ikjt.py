@@ -1,0 +1,194 @@
+"""InverseKeyedJaggedTensor (IKJT) — RecD's deduplicated batch format.
+
+An IKJT (§4.2, Figure 5) stores, for each feature key in a *group*:
+
+* ``values`` / ``offsets`` — the jagged slices of only the **unique** rows;
+
+plus one ``inverse_lookup`` slice shared by the whole group, where
+``inverse_lookup[i]`` points at the deduplicated row backing batch row
+``i``.  A single-feature IKJT is simply a group of size one.
+
+Grouped IKJTs cover features that are updated synchronously across
+samples (the paper's cart item-ID / seller-ID example): they share one
+``inverse_lookup``, which is what lets deduplicated *compute* (O7) run a
+pooling module once per unique row and fan the result out.  Rows whose
+group members were not synchronously updated are left un-deduplicated by
+construction (the group dedup hashes all features jointly), maintaining
+the invariant.
+
+The format is lossless: :meth:`InverseKeyedJaggedTensor.to_kjt` expands
+back to the exact original :class:`~repro.core.kjt.KeyedJaggedTensor`
+using :func:`~repro.core.jagged_ops.jagged_index_select` (O6).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from .dedup import dedup_grouped_rows
+from .jagged import JaggedTensor
+from .jagged_ops import gather_ranges
+from .kjt import KeyedJaggedTensor
+
+__all__ = ["InverseKeyedJaggedTensor"]
+
+
+class InverseKeyedJaggedTensor:
+    """Deduplicated sparse features for one feature group in one batch."""
+
+    __slots__ = ("_tensors", "_inverse_lookup", "_batch_size")
+
+    def __init__(
+        self,
+        tensors: Mapping[str, JaggedTensor],
+        inverse_lookup: np.ndarray,
+    ) -> None:
+        if not tensors:
+            raise ValueError("IKJT requires at least one key")
+        inverse_lookup = np.asarray(inverse_lookup, dtype=np.int64)
+        if inverse_lookup.ndim != 1:
+            raise ValueError("inverse_lookup must be 1-D")
+        uniq_sizes = {jt.num_rows for jt in tensors.values()}
+        if len(uniq_sizes) != 1:
+            raise ValueError(
+                "all group members must have the same deduplicated row count, "
+                f"got {sorted(uniq_sizes)}"
+            )
+        num_unique = uniq_sizes.pop()
+        if inverse_lookup.size and (
+            inverse_lookup.min() < 0 or inverse_lookup.max() >= num_unique
+        ):
+            raise ValueError(
+                f"inverse_lookup must index [0, {num_unique}); got range "
+                f"[{inverse_lookup.min()}, {inverse_lookup.max()}]"
+            )
+        self._tensors: dict[str, JaggedTensor] = dict(tensors)
+        self._inverse_lookup = inverse_lookup
+        self._batch_size = int(inverse_lookup.size)
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_kjt(
+        cls, kjt: KeyedJaggedTensor, keys: Sequence[str] | None = None
+    ) -> "InverseKeyedJaggedTensor":
+        """Deduplicate ``keys`` of ``kjt`` into one (grouped) IKJT.
+
+        This is the feature-conversion step of O3: duplicate rows are
+        detected by hashing and only the first occurrence's values are
+        kept.
+        """
+        keys = list(keys) if keys is not None else kjt.keys
+        if not keys:
+            raise ValueError("need at least one key to deduplicate")
+        group = [kjt[k] for k in keys]
+        unique_indices, inverse = dedup_grouped_rows(group)
+        tensors = {}
+        for k, jt in zip(keys, group):
+            values, offsets = gather_ranges(jt.values, jt.offsets, unique_indices)
+            tensors[k] = JaggedTensor(values, offsets)
+        return cls(tensors, inverse)
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def keys(self) -> list[str]:
+        return list(self._tensors)
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    @property
+    def num_unique(self) -> int:
+        return next(iter(self._tensors.values())).num_rows
+
+    @property
+    def inverse_lookup(self) -> np.ndarray:
+        return self._inverse_lookup
+
+    def __getitem__(self, key: str) -> JaggedTensor:
+        """The deduplicated jagged tensor for one feature key."""
+        return self._tensors[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._tensors
+
+    def items(self):
+        return self._tensors.items()
+
+    @property
+    def total_values(self) -> int:
+        """Total deduplicated value count across the group."""
+        return sum(jt.total_values for jt in self._tensors.values())
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of all slices including ``inverse_lookup``."""
+        return (
+            sum(jt.nbytes for jt in self._tensors.values())
+            + self._inverse_lookup.nbytes
+        )
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Bytes sent over the network during SDD (§5).
+
+        Only ``values`` and ``offsets`` travel; ``inverse_lookup`` stays
+        local to each GPU — which is why IKJTs *strictly* shrink
+        over-the-network tensor sizes (§4.2).
+        """
+        return sum(jt.nbytes for jt in self._tensors.values())
+
+    def dedupe_factor(self, key: str | None = None) -> float:
+        """Realized dedupe factor: original values length / dedup length.
+
+        With ``key=None``, aggregated over the whole group.
+        """
+        if key is not None:
+            items = [(key, self._tensors[key])]
+        else:
+            items = list(self._tensors.items())
+        orig = 0
+        dedup = 0
+        for _, jt in items:
+            dedup += jt.total_values
+            orig += int(jt.lengths[self._inverse_lookup].sum())
+        if dedup == 0:
+            return 1.0
+        return orig / dedup
+
+    # -- conversion ---------------------------------------------------------
+
+    def to_kjt(self) -> KeyedJaggedTensor:
+        """Expand back to the duplicate-bearing KJT via jagged index select."""
+        tensors = {}
+        for k, jt in self._tensors.items():
+            values, offsets = gather_ranges(
+                jt.values, jt.offsets, self._inverse_lookup
+            )
+            tensors[k] = JaggedTensor(values, offsets)
+        return KeyedJaggedTensor(tensors)
+
+    # -- dunder -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, InverseKeyedJaggedTensor):
+            return NotImplemented
+        return (
+            self.keys == other.keys
+            and np.array_equal(self._inverse_lookup, other._inverse_lookup)
+            and all(self._tensors[k] == other._tensors[k] for k in self._tensors)
+        )
+
+    def __hash__(self):
+        raise TypeError("InverseKeyedJaggedTensor is unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"InverseKeyedJaggedTensor(keys={self.keys}, "
+            f"batch_size={self._batch_size}, num_unique={self.num_unique}, "
+            f"dedupe_factor={self.dedupe_factor():.2f})"
+        )

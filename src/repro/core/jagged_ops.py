@@ -1,0 +1,180 @@
+"""Vectorized kernels over jagged tensors.
+
+These are the NumPy analogues of the CUDA/C++ kernels RecD adds to
+PyTorch/TorchRec:
+
+* :func:`jagged_index_select` — O6 of the paper. Gathers rows of a jagged
+  tensor by index *without* first padding to a dense tensor, eliminating the
+  "convert jagged to dense" memory blow-up the paper calls out in §5.
+* :func:`dense_index_select` — the pre-RecD baseline path (pad -> gather ->
+  re-jag), kept for equivalence tests and the O6 ablation bench.
+* segment reductions (:func:`segment_sum` and friends) — pooling over
+  embedding activations laid out jagged-wise.
+* :func:`expand_pooled` — the "use the shared inverse_lookup to expand the
+  output" step of deduplicated compute (O7, §5 Deduplicated Pooling).
+
+All kernels avoid Python-level loops over rows, per the vectorization
+idioms this project follows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .jagged import JaggedTensor, offsets_from_lengths
+
+__all__ = [
+    "jagged_index_select",
+    "dense_index_select",
+    "gather_ranges",
+    "segment_sum",
+    "segment_mean",
+    "segment_max",
+    "expand_pooled",
+    "jagged_elementwise_sum",
+]
+
+
+def gather_ranges(
+    values: np.ndarray, offsets: np.ndarray, indices: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather variable-length ranges ``indices`` out of (values, offsets).
+
+    Returns the new ``(values, offsets)`` pair.  This is the flat-array core
+    of :func:`jagged_index_select`, reused by the IKJT -> KJT conversion.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    if indices.ndim != 1:
+        raise ValueError("indices must be 1-D")
+    num_rows = offsets.size - 1
+    if indices.size and (indices.min() < 0 or indices.max() >= num_rows):
+        raise IndexError(
+            f"indices out of range [0, {num_rows}): "
+            f"[{indices.min()}, {indices.max()}]"
+        )
+    lengths = np.diff(offsets)
+    sel_lengths = lengths[indices]
+    out_offsets = offsets_from_lengths(sel_lengths)
+    total = int(out_offsets[-1])
+    if total == 0:
+        return values[:0].copy(), out_offsets
+    # For each output element, its source position is the selected row's
+    # start offset plus the element's rank within the row.
+    row_starts = offsets[:-1][indices]
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        out_offsets[:-1], sel_lengths
+    )
+    src = np.repeat(row_starts, sel_lengths) + within
+    return values[src], out_offsets
+
+
+def jagged_index_select(jt: JaggedTensor, indices: np.ndarray) -> JaggedTensor:
+    """Row-gather on a jagged tensor with no dense intermediate (O6)."""
+    values, offsets = gather_ranges(jt.values, jt.offsets, indices)
+    return JaggedTensor(values, offsets)
+
+
+def dense_index_select(jt: JaggedTensor, indices: np.ndarray) -> JaggedTensor:
+    """Baseline: pad to dense, gather rows, strip padding back to jagged.
+
+    Allocates ``num_rows * max_len`` elements — the memory overhead O6
+    removes.  Functionally identical to :func:`jagged_index_select`.
+    """
+    indices = np.asarray(indices, dtype=np.int64)
+    dense = jt.to_dense()
+    lengths = jt.lengths[indices]
+    picked = dense[indices]
+    max_len = dense.shape[1]
+    if max_len == 0:
+        return JaggedTensor.empty(indices.size, dtype=jt.values.dtype)
+    mask = np.arange(max_len)[None, :] < lengths[:, None]
+    return JaggedTensor(picked[mask], offsets_from_lengths(lengths))
+
+
+def _check_segments(activations: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if activations.shape[0] != offsets[-1]:
+        raise ValueError(
+            f"activations rows ({activations.shape[0]}) must equal "
+            f"offsets[-1] ({offsets[-1]})"
+        )
+    return offsets
+
+
+def segment_sum(activations: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Sum-pool activation rows per jagged segment.
+
+    ``activations`` is ``(total_values, D)`` (or 1-D); the result is
+    ``(num_segments, D)``.  Empty segments pool to zeros.
+    """
+    offsets = _check_segments(activations, offsets)
+    num_seg = offsets.size - 1
+    out_shape = (num_seg,) + activations.shape[1:]
+    out = np.zeros(out_shape, dtype=np.result_type(activations.dtype, np.float64))
+    if activations.shape[0]:
+        seg_ids = np.repeat(np.arange(num_seg), np.diff(offsets))
+        np.add.at(out, seg_ids, activations)
+    return out
+
+
+def segment_mean(activations: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Mean-pool per segment; empty segments yield zeros (TorchRec semantics)."""
+    offsets = _check_segments(activations, offsets)
+    sums = segment_sum(activations, offsets)
+    counts = np.diff(offsets).astype(np.float64)
+    safe = np.maximum(counts, 1.0)
+    return sums / safe.reshape((-1,) + (1,) * (sums.ndim - 1))
+
+def segment_max(activations: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Max-pool per segment; empty segments yield zeros."""
+    offsets = _check_segments(activations, offsets)
+    num_seg = offsets.size - 1
+    out_shape = (num_seg,) + activations.shape[1:]
+    out = np.zeros(out_shape, dtype=activations.dtype)
+    if activations.shape[0] == 0:
+        return out
+    lengths = np.diff(offsets)
+    nonempty = lengths > 0
+    if not nonempty.any():
+        return out
+    # reduceat needs strictly valid starts; restrict to non-empty segments.
+    starts = offsets[:-1][nonempty]
+    reduced = np.maximum.reduceat(activations, starts, axis=0)
+    # reduceat merges a segment with the next when starts repeat — they can't
+    # here because every selected segment is non-empty.
+    out[nonempty] = reduced
+    return out
+
+
+def expand_pooled(pooled: np.ndarray, inverse_lookup: np.ndarray) -> np.ndarray:
+    """Expand per-unique-row pooled outputs back to the full batch (O7).
+
+    ``pooled`` has one row per *deduplicated* row; ``inverse_lookup[i]``
+    names the unique row backing batch row ``i``.  A plain fancy-index —
+    the whole point is that the expensive compute already happened on the
+    smaller ``pooled``.
+    """
+    inverse_lookup = np.asarray(inverse_lookup, dtype=np.int64)
+    if inverse_lookup.size and (
+        inverse_lookup.min() < 0 or inverse_lookup.max() >= pooled.shape[0]
+    ):
+        raise IndexError("inverse_lookup out of range of pooled rows")
+    return pooled[inverse_lookup]
+
+
+def jagged_elementwise_sum(tensors: list[JaggedTensor]) -> JaggedTensor:
+    """Element-wise sum of jagged tensors sharing identical offsets.
+
+    Models the grouped-feature compute in §5's worked example (features c
+    and d element-wise summed).  Raises if the jagged structures differ.
+    """
+    if not tensors:
+        raise ValueError("need at least one tensor")
+    first = tensors[0]
+    for t in tensors[1:]:
+        if not np.array_equal(t.offsets, first.offsets):
+            raise ValueError("jagged structures differ; cannot sum element-wise")
+    total = first.values.astype(np.result_type(*[t.values.dtype for t in tensors]))
+    for t in tensors[1:]:
+        total = total + t.values
+    return JaggedTensor(total, first.offsets.copy())

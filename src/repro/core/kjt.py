@@ -1,0 +1,128 @@
+"""KeyedJaggedTensor — the baseline sparse-feature batch format.
+
+A :class:`KeyedJaggedTensor` (KJT) maps feature keys to
+:class:`~repro.core.jagged.JaggedTensor` slices, exactly as in TorchRec
+(``torchrec.sparse.KeyedJaggedTensor``) and Figure 5 of the RecD paper.
+Every per-key jagged tensor covers the same batch: ``num_rows`` is shared.
+
+The KJT is the format that *retains* duplicate feature values; RecD's
+:class:`~repro.core.ikjt.InverseKeyedJaggedTensor` is the deduplicated
+counterpart, and both must round-trip losslessly
+(``IKJT.to_kjt() == original``), which the test suite asserts.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .jagged import JaggedTensor
+
+__all__ = ["KeyedJaggedTensor"]
+
+
+class KeyedJaggedTensor:
+    """An ordered mapping ``feature key -> JaggedTensor`` over one batch."""
+
+    __slots__ = ("_tensors", "_batch_size")
+
+    def __init__(self, tensors: Mapping[str, JaggedTensor]) -> None:
+        if not tensors:
+            raise ValueError("KeyedJaggedTensor requires at least one key")
+        sizes = {jt.num_rows for jt in tensors.values()}
+        if len(sizes) != 1:
+            raise ValueError(
+                f"all keys must share a batch size, got sizes {sorted(sizes)}"
+            )
+        self._tensors: dict[str, JaggedTensor] = dict(tensors)
+        self._batch_size = sizes.pop()
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Mapping[str, Sequence[int]]],
+        keys: Iterable[str] | None = None,
+    ) -> "KeyedJaggedTensor":
+        """Build from row dicts (how readers see a freshly-filled batch).
+
+        Missing keys in a row become empty lists, matching how a production
+        feature-conversion step treats absent features.
+        """
+        if keys is None:
+            seen: dict[str, None] = {}
+            for r in rows:
+                for k in r:
+                    seen.setdefault(k)
+            keys = list(seen)
+        tensors = {
+            k: JaggedTensor.from_lists([r.get(k, ()) for r in rows]) for k in keys
+        }
+        if not tensors:
+            raise ValueError("no feature keys found in rows")
+        return cls(tensors)
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def keys(self) -> list[str]:
+        return list(self._tensors)
+
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    @property
+    def total_values(self) -> int:
+        return sum(jt.total_values for jt in self._tensors.values())
+
+    @property
+    def nbytes(self) -> int:
+        return sum(jt.nbytes for jt in self._tensors.values())
+
+    def __getitem__(self, key: str) -> JaggedTensor:
+        return self._tensors[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._tensors
+
+    def __iter__(self):
+        return iter(self._tensors)
+
+    def items(self):
+        return self._tensors.items()
+
+    def select(self, keys: Iterable[str]) -> "KeyedJaggedTensor":
+        """A new KJT restricted to ``keys`` (used by SDD to route per-GPU)."""
+        keys = list(keys)
+        missing = [k for k in keys if k not in self._tensors]
+        if missing:
+            raise KeyError(f"keys not present: {missing}")
+        return KeyedJaggedTensor({k: self._tensors[k] for k in keys})
+
+    def to_row_dicts(self) -> list[dict[str, list]]:
+        """Materialize back to per-row dicts (round-trip testing)."""
+        return [
+            {k: jt.row(i).tolist() for k, jt in self._tensors.items()}
+            for i in range(self._batch_size)
+        ]
+
+    # -- dunder -----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KeyedJaggedTensor):
+            return NotImplemented
+        return self.keys == other.keys and all(
+            self._tensors[k] == other._tensors[k] for k in self._tensors
+        )
+
+    def __hash__(self):
+        raise TypeError("KeyedJaggedTensor is unhashable")
+
+    def __repr__(self) -> str:
+        return (
+            f"KeyedJaggedTensor(keys={len(self._tensors)}, "
+            f"batch_size={self._batch_size}, total_values={self.total_values})"
+        )

@@ -1,0 +1,128 @@
+"""Dataset schema: feature specifications for synthetic DLRM traces.
+
+The paper's characterization (§3) shows duplication is a *per-feature*
+property governed by how often a feature's value changes across a
+session's samples.  A :class:`SparseFeatureSpec` therefore carries:
+
+* ``kind`` — USER features (liked/shared post history, cart contents)
+  rarely change within a session and dominate dataset bytes; ITEM features
+  (the ranked item's ID) change almost every impression (§3, Fig 4).
+* ``change_prob`` — probability the value changes between consecutive
+  impressions; the paper's d(f) is ``1 - change_prob``.
+* ``avg_length`` — l(f), the mean list length.
+* ``group`` — features sharing a group are updated *synchronously*
+  (the cart item-ID/seller-ID example of §4.2) and are eligible for
+  grouped IKJTs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = [
+    "FeatureKind",
+    "PoolingKind",
+    "SparseFeatureSpec",
+    "DenseFeatureSpec",
+    "DatasetSchema",
+]
+
+
+class FeatureKind(enum.Enum):
+    """Whether a sparse feature reflects user or item traits (§3)."""
+
+    USER = "user"
+    ITEM = "item"
+
+
+class PoolingKind(enum.Enum):
+    """How the trainer pools this feature's embedding activations (§5)."""
+
+    SUM = "sum"
+    MEAN = "mean"
+    MAX = "max"
+    ATTENTION = "attention"
+    TRANSFORMER = "transformer"
+
+
+@dataclass(frozen=True)
+class SparseFeatureSpec:
+    """One sparse (categorical, variable-length list) feature."""
+
+    name: str
+    kind: FeatureKind = FeatureKind.USER
+    avg_length: int = 10
+    #: probability the value changes between consecutive same-session rows
+    change_prob: float = 0.1
+    #: sparse-ID vocabulary size (rows of the embedding table)
+    cardinality: int = 100_000
+    #: synchronous-update group; None means the feature updates alone
+    group: str | None = None
+    pooling: PoolingKind = PoolingKind.SUM
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.change_prob <= 1.0:
+            raise ValueError(f"change_prob must be in [0,1], got {self.change_prob}")
+        if self.avg_length < 0:
+            raise ValueError("avg_length must be non-negative")
+        if self.cardinality < 1:
+            raise ValueError("cardinality must be positive")
+
+    @property
+    def d(self) -> float:
+        """The paper's d(f): probability the value repeats across rows."""
+        return 1.0 - self.change_prob
+
+    @property
+    def is_sequence(self) -> bool:
+        """Sequence features are the long, attention/transformer-pooled ones."""
+        return self.pooling in (PoolingKind.ATTENTION, PoolingKind.TRANSFORMER)
+
+
+@dataclass(frozen=True)
+class DenseFeatureSpec:
+    """One dense (continuous scalar) feature."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class DatasetSchema:
+    """The full feature schema of a training table."""
+
+    sparse: tuple[SparseFeatureSpec, ...]
+    dense: tuple[DenseFeatureSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.sparse] + [f.name for f in self.dense]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate feature names in schema")
+
+    @property
+    def sparse_names(self) -> list[str]:
+        return [f.name for f in self.sparse]
+
+    @property
+    def dense_names(self) -> list[str]:
+        return [f.name for f in self.dense]
+
+    def sparse_spec(self, name: str) -> SparseFeatureSpec:
+        for f in self.sparse:
+            if f.name == name:
+                return f
+        raise KeyError(name)
+
+    def groups(self) -> dict[str, list[str]]:
+        """Map group name -> member feature names (insertion order)."""
+        out: dict[str, list[str]] = {}
+        for f in self.sparse:
+            if f.group is not None:
+                out.setdefault(f.group, []).append(f.name)
+        return out
+
+    def user_features(self) -> list[SparseFeatureSpec]:
+        return [f for f in self.sparse if f.kind is FeatureKind.USER]
+
+    def item_features(self) -> list[SparseFeatureSpec]:
+        return [f for f in self.sparse if f.kind is FeatureKind.ITEM]

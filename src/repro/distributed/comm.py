@@ -1,0 +1,40 @@
+"""Collective-communication latency models (§2.2's all-to-all/all-reduce).
+
+Standard alpha-beta cost models: ``latency + bytes / bandwidth`` with the
+usual ring/all-to-all volume factors.  These produce the A2A component of
+Fig 8, which RecD halves by shipping deduplicated slices.
+"""
+
+from __future__ import annotations
+
+from .device import ClusterSpec
+
+__all__ = ["all_to_all_seconds", "all_reduce_seconds"]
+
+
+def all_to_all_seconds(
+    per_gpu_bytes: float, cluster: ClusterSpec
+) -> float:
+    """Time for each GPU to exchange ``per_gpu_bytes`` with all peers.
+
+    A fraction (n-1)/n of each GPU's payload leaves the GPU; transfer
+    time is that volume over the collective bandwidth.
+    """
+    if per_gpu_bytes < 0:
+        raise ValueError("bytes must be non-negative")
+    n = cluster.num_gpus
+    if n == 1:
+        return 0.0
+    wire = per_gpu_bytes * (n - 1) / n
+    return cluster.collective_latency + wire / cluster.collective_bw
+
+
+def all_reduce_seconds(payload_bytes: float, cluster: ClusterSpec) -> float:
+    """Ring all-reduce: 2*(n-1)/n of the payload crosses each link."""
+    if payload_bytes < 0:
+        raise ValueError("bytes must be non-negative")
+    n = cluster.num_gpus
+    if n == 1:
+        return 0.0
+    wire = 2.0 * payload_bytes * (n - 1) / n
+    return cluster.collective_latency + wire / cluster.collective_bw

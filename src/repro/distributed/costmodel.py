@@ -1,0 +1,78 @@
+"""Trainer-side latency constants (simulation-scale).
+
+The functional model runs at laptop scale (batches of a few hundred,
+embedding dims of tens), roughly three orders of magnitude below the
+paper's testbed; the device envelope is scaled down by the same factor so
+the *phase mix* of a baseline iteration matches Fig 8's baseline (A2A a
+large exposed component, GEMM comparable, EMB lookups a few percent).
+Only ratios across configurations are meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import ClusterSpec, GPUSpec
+
+__all__ = ["sim_gpu", "sim_cluster", "TrainerCostConstants"]
+
+
+@dataclass(frozen=True)
+class TrainerCostConstants:
+    """Non-bandwidth cost knobs of the iteration model."""
+
+    #: bytes per embedding activation element on the wire / in HBM (fp32)
+    emb_dtype_bytes: int = 4
+    #: backward GEMM cost relative to forward (standard ~2x)
+    backward_flops_factor: float = 2.0
+    #: fixed per-iteration overhead (optimizer, host sync), seconds
+    fixed_overhead: float = 1.5e-4
+    #: fraction of the dense-gradient all-reduce left *exposed*.  DDP
+    #: buckets and overlaps the all-reduce with backward compute, and —
+    #: unlike batches and embedding dims — parameter counts are not scaled
+    #: down in this simulation, so exposing the full transfer would let a
+    #: constant swamp the iteration.  2% exposure lands "Other" in Fig 8's
+    #: baseline band.
+    allreduce_exposure: float = 0.02
+    #: fraction of GEMM time under which A2A can hide.  The deployed
+    #: system overlaps sparse all-to-alls with dense compute; Fig 8 plots
+    #: only the *exposed* remainder.  0.0 (default) models everything as
+    #: exposed — simple and calibrated — and is why this reproduction's
+    #: throughput multipliers overshoot the paper's; raising it toward
+    #: ~0.5 pulls RM1's end-to-end gain into the paper's band (see the
+    #: overlap ablation bench).
+    comm_overlap_fraction: float = 0.0
+    #: fraction of dynamic memory counted toward *average* utilization
+    avg_dynamic_fraction: float = 0.4
+    #: replicated dense parameters don't shrink with the simulation scale
+    #: the way batches/dims do; weight their memory contribution down so
+    #: the static/dynamic mix matches the paper's setting (Table 2 implies
+    #: dynamic activations were ~80% of baseline GPU memory)
+    param_mem_scale: float = 0.1
+    #: activation memory multiplier: forward stash + gradients + workspace
+    activation_mem_factor: float = 3.0
+
+
+def sim_gpu(memory_bytes: int = 48 * 2**20) -> GPUSpec:
+    """An A100 scaled ~1000x down to match simulation workload sizes."""
+    return GPUSpec(
+        name="sim-a100/1000",
+        memory_bytes=memory_bytes,
+        hbm_bw=1.55e9,
+        flops=120e9,
+        nic_bw=25e6,
+        nvlink_bw=300e6,
+    )
+
+
+def sim_cluster(
+    num_gpus: int = 48,
+    gpus_per_node: int = 8,
+    memory_bytes: int = 48 * 2**20,
+) -> ClusterSpec:
+    return ClusterSpec(
+        num_gpus=num_gpus,
+        gpus_per_node=gpus_per_node,
+        gpu=sim_gpu(memory_bytes),
+        collective_latency=10e-6,
+    )

@@ -1,0 +1,119 @@
+"""Sparse Data Distribution (SDD): routing features to their EMB shards.
+
+Before lookups, an all-to-all coalesces each feature's values (across
+every GPU's local batch) onto the GPU holding that feature's
+model-parallel embedding shard (§2.2).  RecD's O5 sends only the IKJT's
+``values``/``offsets`` slices — ``inverse_lookup`` stays local (§5) — so
+SDD bytes shrink by DedupeFactor(f) per deduplicated feature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..reader.batch import Batch
+
+__all__ = [
+    "ShardingPlan",
+    "SDDVolume",
+    "plan_sharding",
+    "plan_sharding_balanced",
+    "sdd_volume",
+]
+
+_ID_BYTES = 8  # int64 sparse IDs on the wire
+_OFFSET_BYTES = 8
+
+
+@dataclass(frozen=True)
+class ShardingPlan:
+    """feature key -> owning GPU (round-robin model parallelism)."""
+
+    owner: dict[str, int]
+    num_gpus: int
+
+
+def plan_sharding(feature_names: list[str], num_gpus: int) -> ShardingPlan:
+    if num_gpus <= 0:
+        raise ValueError("num_gpus must be positive")
+    if not feature_names:
+        raise ValueError("need at least one feature")
+    return ShardingPlan(
+        owner={name: i % num_gpus for i, name in enumerate(feature_names)},
+        num_gpus=num_gpus,
+    )
+
+
+def plan_sharding_balanced(
+    table_bytes: dict[str, int], num_gpus: int
+) -> ShardingPlan:
+    """Greedy size-balanced model parallelism (RecShard-lite, §8).
+
+    Assigns the largest table to the least-loaded GPU first, so per-GPU
+    EMB memory stays balanced when table sizes are skewed.
+    """
+    if num_gpus <= 0:
+        raise ValueError("num_gpus must be positive")
+    if not table_bytes:
+        raise ValueError("need at least one feature")
+    if any(v < 0 for v in table_bytes.values()):
+        raise ValueError("table sizes must be non-negative")
+    loads = [0] * num_gpus
+    owner: dict[str, int] = {}
+    for name, size in sorted(
+        table_bytes.items(), key=lambda kv: (-kv[1], kv[0])
+    ):
+        gpu = min(range(num_gpus), key=lambda g: loads[g])
+        owner[name] = gpu
+        loads[gpu] += size
+    return ShardingPlan(owner=owner, num_gpus=num_gpus)
+
+
+@dataclass
+class SDDVolume:
+    """Bytes involved in one iteration's sparse distribution."""
+
+    #: total feature bytes entering the forward all-to-all
+    input_bytes: int = 0
+    #: pooled-embedding bytes returned by the second all-to-all
+    output_rows: int = 0
+
+    def output_bytes(self, dim: int, dtype_bytes: int = 4) -> int:
+        return self.output_rows * dim * dtype_bytes
+
+
+def sdd_volume(batch: Batch, dedup_output: bool = True) -> SDDVolume:
+    """Measure one batch's SDD traffic.
+
+    Plain KJT features ship every (duplicate) value; IKJT features ship
+    deduplicated values+offsets only.  The return all-to-all carries one
+    pooled embedding per *pooled row*: B rows for KJT features, and — when
+    deduplicated compute (O7) keeps outputs in IKJT form
+    (``dedup_output``) — unique rows for IKJT features.
+    """
+    vol = SDDVolume()
+    if batch.kjt is not None:
+        for key in batch.kjt.keys:
+            jt = batch.kjt[key]
+            vol.input_bytes += (
+                jt.total_values * _ID_BYTES + jt.offsets.size * _OFFSET_BYTES
+            )
+            vol.output_rows += jt.num_rows
+    for ikjt in batch.ikjts:
+        for key in ikjt.keys:
+            jt = ikjt[key]
+            vol.input_bytes += (
+                jt.total_values * _ID_BYTES + jt.offsets.size * _OFFSET_BYTES
+            )
+            vol.output_rows += (
+                jt.num_rows if dedup_output else ikjt.batch_size
+            )
+    if batch.partial is not None:
+        for key in batch.partial.keys:
+            pt = batch.partial[key]
+            # §7 partial encoding on the wire: shared buffer + per-row
+            # [offset, length] windows (which replace the offsets slice)
+            vol.input_bytes += pt.values.size * _ID_BYTES
+            vol.input_bytes += pt.inverse_lookup.size * _OFFSET_BYTES
+            vol.output_rows += pt.batch_size
+    return vol

@@ -1,0 +1,22 @@
+"""ETL substrate: join, clustering (O2), downsampling (§7)."""
+
+from .cluster import cluster_by_session, is_clustered
+from .downsample import (
+    downsample_per_sample,
+    downsample_per_session,
+    samples_per_session,
+)
+from .join import join_logs
+from .pipeline import ETLConfig, ETLJob, ETLResult
+
+__all__ = [
+    "join_logs",
+    "cluster_by_session",
+    "is_clustered",
+    "downsample_per_sample",
+    "downsample_per_session",
+    "samples_per_session",
+    "ETLConfig",
+    "ETLJob",
+    "ETLResult",
+]

@@ -1,0 +1,44 @@
+"""O2: CLUSTER BY session ID, SORT BY timestamp (§4.1).
+
+The RecD data-generation ETL job rewrites each landed partition so that
+every session's samples sit adjacently (enabling in-batch dedup) and in
+log-timestamp order within the session (preserving temporal structure).
+This is the ``CLUSTER BY`` clause of engines like Spark applied at
+partition granularity.
+"""
+
+from __future__ import annotations
+
+from ..datagen.session import Sample
+
+__all__ = ["cluster_by_session", "is_clustered"]
+
+
+def cluster_by_session(samples: list[Sample]) -> list[Sample]:
+    """Stable re-order: group rows by session, sort each by timestamp.
+
+    Sessions appear in order of their earliest timestamp so the clustered
+    partition still reads roughly chronologically (fresh partitions land
+    hourly; intra-hour session order is irrelevant to training).
+    """
+    first_ts: dict[int, float] = {}
+    for s in samples:
+        cur = first_ts.get(s.session_id)
+        if cur is None or s.timestamp < cur:
+            first_ts[s.session_id] = s.timestamp
+    return sorted(
+        samples, key=lambda s: (first_ts[s.session_id], s.session_id, s.timestamp)
+    )
+
+
+def is_clustered(samples: list[Sample]) -> bool:
+    """True when every session's samples form one contiguous run."""
+    seen: set[int] = set()
+    prev: int | None = None
+    for s in samples:
+        if s.session_id != prev:
+            if s.session_id in seen:
+                return False
+            seen.add(s.session_id)
+            prev = s.session_id
+    return True

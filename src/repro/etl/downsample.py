@@ -1,0 +1,54 @@
+"""Downsampling policies (§7, Boosting Dedupe Factors).
+
+Data generation keeps datasets manageable by discarding samples.  The
+baseline drops *per sample*, which leaves S (samples/session) unchanged.
+RecD proposes dropping *per session* instead: the same retained volume
+concentrates into fewer, complete sessions, raising S and with it every
+DedupeFactor — without affecting model accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..datagen.session import Sample
+
+__all__ = ["downsample_per_sample", "downsample_per_session", "samples_per_session"]
+
+
+def downsample_per_sample(
+    samples: list[Sample], keep_rate: float, seed: int = 0
+) -> list[Sample]:
+    """Baseline: keep each sample independently with ``keep_rate``."""
+    if not 0.0 <= keep_rate <= 1.0:
+        raise ValueError("keep_rate must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    keep = rng.random(len(samples)) < keep_rate
+    return [s for s, k in zip(samples, keep) if k]
+
+
+def downsample_per_session(
+    samples: list[Sample], keep_rate: float, seed: int = 0
+) -> list[Sample]:
+    """RecD: keep or drop whole sessions with ``keep_rate``.
+
+    Retains roughly the same expected sample volume as the per-sample
+    policy but preserves S within kept sessions.
+    """
+    if not 0.0 <= keep_rate <= 1.0:
+        raise ValueError("keep_rate must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    session_ids = sorted({s.session_id for s in samples})
+    keep_mask = rng.random(len(session_ids)) < keep_rate
+    kept = {sid for sid, k in zip(session_ids, keep_mask) if k}
+    return [s for s in samples if s.session_id in kept]
+
+
+def samples_per_session(samples: list[Sample]) -> float:
+    """Mean S over a partition (the §7 metric the policies differ on)."""
+    if not samples:
+        return 0.0
+    counts: dict[int, int] = {}
+    for s in samples:
+        counts[s.session_id] = counts.get(s.session_id, 0) + 1
+    return len(samples) / len(counts)

@@ -1,0 +1,47 @@
+"""ETL join: raw feature logs x event logs -> labeled training samples.
+
+Streaming/batch engines (Spark in the paper, §2.1) ingest the two Scribe
+categories and join them on request ID to produce labeled samples.  A
+feature record without an event (the impression never resolved) or an
+event without features is dropped, as a production join would.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..datagen.session import Sample
+from ..scribe.message import EventLogRecord, FeatureLogRecord
+
+__all__ = ["join_logs"]
+
+
+def join_logs(
+    features: Iterable[FeatureLogRecord],
+    events: Iterable[EventLogRecord],
+) -> list[Sample]:
+    """Hash-join the two log streams into training samples.
+
+    Output order follows the *feature* stream (inference-time order),
+    matching the baseline pipeline's "samples ordered by inference time"
+    behaviour that O2 exists to change.
+    """
+    label_by_request: dict[int, int] = {}
+    for ev in events:
+        label_by_request[ev.request_id] = ev.label
+    samples: list[Sample] = []
+    for rec in features:
+        label = label_by_request.get(rec.request_id)
+        if label is None:
+            continue  # unresolved impression
+        samples.append(
+            Sample(
+                sample_id=rec.request_id,
+                session_id=rec.session_id,
+                timestamp=rec.timestamp,
+                label=label,
+                sparse=rec.sparse,
+                dense=rec.dense,
+            )
+        )
+    return samples

@@ -1,0 +1,11 @@
+"""Resource counters and phase breakdowns (the currency of all results)."""
+
+from .breakdown import IterationBreakdown, ReaderCpuBreakdown
+from .counters import Counters, MemoryTracker
+
+__all__ = [
+    "Counters",
+    "MemoryTracker",
+    "IterationBreakdown",
+    "ReaderCpuBreakdown",
+]

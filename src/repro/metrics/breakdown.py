@@ -1,0 +1,71 @@
+"""Phase-level time breakdowns for readers and trainers.
+
+These mirror the two breakdown figures of the paper: Fig 10 (reader CPU
+time split across Fill / Convert / Process) and Fig 8 (trainer iteration
+latency split across EMB / GEMM / A2A / Other).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReaderCpuBreakdown", "IterationBreakdown"]
+
+
+@dataclass
+class ReaderCpuBreakdown:
+    """Modeled reader CPU seconds per pipeline phase (Fig 10)."""
+
+    fill: float = 0.0
+    convert: float = 0.0
+    process: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.fill + self.convert + self.process
+
+    def merge(self, other: "ReaderCpuBreakdown") -> None:
+        self.fill += other.fill
+        self.convert += other.convert
+        self.process += other.process
+
+    def normalized_to(self, baseline: "ReaderCpuBreakdown") -> dict[str, float]:
+        """Each phase as a fraction of the *baseline total* — the exact
+        normalization Fig 10 plots."""
+        denom = baseline.total or 1.0
+        return {
+            "fill": self.fill / denom,
+            "convert": self.convert / denom,
+            "process": self.process / denom,
+            "total": self.total / denom,
+        }
+
+
+@dataclass
+class IterationBreakdown:
+    """Modeled exposed (non-overlapped) trainer latency per phase (Fig 8)."""
+
+    emb_lookup: float = 0.0
+    gemm: float = 0.0
+    a2a: float = 0.0
+    other: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.emb_lookup + self.gemm + self.a2a + self.other
+
+    def merge(self, other: "IterationBreakdown") -> None:
+        self.emb_lookup += other.emb_lookup
+        self.gemm += other.gemm
+        self.a2a += other.a2a
+        self.other += other.other
+
+    def normalized_to(self, baseline: "IterationBreakdown") -> dict[str, float]:
+        denom = baseline.total or 1.0
+        return {
+            "emb_lookup": self.emb_lookup / denom,
+            "gemm": self.gemm / denom,
+            "a2a": self.a2a / denom,
+            "other": self.other / denom,
+            "total": self.total / denom,
+        }

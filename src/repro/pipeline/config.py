@@ -1,0 +1,114 @@
+"""End-to-end experiment configuration: the O1–O7 toggle surface.
+
+A :class:`RecDToggles` instance selects which of Table 1's optimizations
+are active; :func:`RecDToggles.baseline` and :func:`RecDToggles.full`
+are the two Fig 7 endpoints, and intermediate combinations drive the
+Fig 9 ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..datagen.workloads import RMWorkload
+from ..reader.config import DataLoaderConfig
+from ..trainer.sparse_arch import TrainerOptFlags
+
+__all__ = ["RecDToggles", "PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class RecDToggles:
+    """Which RecD optimizations (Table 1) are enabled."""
+
+    o1_shard_by_session: bool = False
+    o2_cluster_table: bool = False
+    o3_ikjt: bool = False  # readers emit IKJTs (implies O4's wrapper)
+    o5_dedup_emb: bool = False
+    o6_jagged_index_select: bool = False
+    o7_dedup_compute: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.o5_dedup_emb or self.o7_dedup_compute) and not self.o3_ikjt:
+            raise ValueError("trainer dedup (O5/O7) requires IKJT input (O3)")
+        if self.o7_dedup_compute and not self.o5_dedup_emb:
+            raise ValueError("O7 builds on O5's deduplicated lookups")
+
+    @classmethod
+    def baseline(cls) -> "RecDToggles":
+        return cls()
+
+    @classmethod
+    def full(cls) -> "RecDToggles":
+        return cls(
+            o1_shard_by_session=True,
+            o2_cluster_table=True,
+            o3_ikjt=True,
+            o5_dedup_emb=True,
+            o6_jagged_index_select=True,
+            o7_dedup_compute=True,
+        )
+
+    def with_(self, **kwargs) -> "RecDToggles":
+        return replace(self, **kwargs)
+
+    @property
+    def trainer_flags(self) -> TrainerOptFlags:
+        return TrainerOptFlags(
+            dedup_emb=self.o5_dedup_emb,
+            jagged_index_select=self.o6_jagged_index_select,
+            dedup_compute=self.o7_dedup_compute,
+        )
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """One end-to-end run's parameters."""
+
+    workload: RMWorkload
+    toggles: RecDToggles
+    num_sessions: int = 250
+    #: S of the generated table; RM3's production table has fewer
+    #: samples/session than RM1/RM2's (§6.1)
+    mean_samples_per_session: float = 16.5
+    num_scribe_shards: int = 8
+    num_gpus: int = 48
+    gpus_per_node: int = 8
+    #: overrides workload batch sizes when set
+    batch_size: int | None = None
+    train_batches: int = 2
+    max_table_rows: int = 2000
+    seed: int = 0
+    transforms: tuple[str, ...] = ("hash_modulo",)
+
+    @property
+    def effective_batch_size(self) -> int:
+        if self.batch_size is not None:
+            return self.batch_size
+        w = self.workload
+        return (
+            w.recd_batch_size if self.toggles.o3_ikjt else w.baseline_batch_size
+        )
+
+    def dataloader_config(self) -> DataLoaderConfig:
+        """The job's DataLoader spec under the current toggles."""
+        w = self.workload
+        if self.toggles.o3_ikjt:
+            plain = tuple(
+                f.name
+                for f in w.schema.sparse
+                if f.name not in w.dedup_feature_names
+            )
+            return DataLoaderConfig(
+                batch_size=self.effective_batch_size,
+                sparse_features=plain,
+                dedup_sparse_features=w.dedup_groups,
+                dense_features=tuple(w.schema.dense_names),
+                transforms=self.transforms,
+            )
+        return DataLoaderConfig(
+            batch_size=self.effective_batch_size,
+            sparse_features=tuple(w.schema.sparse_names),
+            dense_features=tuple(w.schema.dense_names),
+            transforms=self.transforms,
+        )

@@ -1,0 +1,144 @@
+"""The end-to-end pipeline runner: Figure 1, in miniature.
+
+Runs one configuration through every stage the paper's Figure 1 shows —
+inference logging -> Scribe (O1) -> ETL join/cluster (O2) -> Hive/DWRF on
+Tectonic -> reader tier (O3/O4) -> distributed trainers (O5–O7) — and
+returns the per-stage measurements every evaluation figure draws from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datagen.generator import TraceConfig, TraceGenerator
+from ..datagen.session import Sample
+from ..distributed.costmodel import sim_cluster
+from ..distributed.trainer import DistributedTrainer, TrainingReport
+from ..etl.pipeline import ETLConfig, ETLJob
+from ..reader.node import ReaderNode, ReaderReport
+from ..scribe.bus import ScribeCluster, ScribeStats
+from ..scribe.message import split_sample
+from ..scribe.sharding import ShardKeyPolicy
+from ..storage.hive import HiveTable, PartitionInfo
+from ..storage.tectonic import TectonicFS
+from ..trainer.model import DLRM, DLRMConfig
+from .config import PipelineConfig
+
+__all__ = ["PipelineResult", "run_pipeline", "land_table"]
+
+
+@dataclass
+class PipelineResult:
+    """Every stage's measurements for one configuration."""
+
+    config: PipelineConfig
+    scribe: ScribeStats
+    scribe_ingest_bytes: int
+    partition: PartitionInfo
+    reader: ReaderReport
+    training: TrainingReport
+    samples_landed: int
+
+    # -- the Fig 7 headline metrics ------------------------------------------
+
+    @property
+    def trainer_qps(self) -> float:
+        return self.training.mean_samples_per_second
+
+    @property
+    def reader_qps(self) -> float:
+        return self.reader.samples_per_cpu_second
+
+    @property
+    def storage_compression(self) -> float:
+        return self.partition.compression_ratio
+
+    @property
+    def scribe_compression(self) -> float:
+        return self.scribe.compression_ratio
+
+
+def land_table(
+    config: PipelineConfig,
+) -> tuple[HiveTable, ScribeStats, int, PartitionInfo, list[Sample]]:
+    """Stages 1–4: generate, transport, join, land."""
+    w = config.workload
+    samples = TraceGenerator(
+        w.schema,
+        TraceConfig(
+            seed=config.seed,
+            mean_samples_per_session=config.mean_samples_per_session,
+        ),
+    ).generate_partition(config.num_sessions)
+
+    policy = (
+        ShardKeyPolicy.SESSION_ID
+        if config.toggles.o1_shard_by_session
+        else ShardKeyPolicy.RANDOM
+    )
+    scribe = ScribeCluster(
+        num_shards=config.num_scribe_shards, policy=policy
+    )
+    for s in samples:
+        feat, ev = split_sample(s)
+        scribe.log_features(feat)
+        scribe.log_event(ev)
+    scribe.flush()
+
+    etl = ETLJob(ETLConfig(cluster=config.toggles.o2_cluster_table))
+    etl_result = etl.run_from_scribe(scribe)
+
+    fs = TectonicFS()
+    # Stripes are small relative to the partition so that a stripe's time
+    # window matches the paper's regime: in the interleaved baseline a
+    # stripe holds ~1 sample/session (Fig 3), and only clustering (O2)
+    # makes a session's duplicates stripe-local.
+    table = HiveTable(
+        f"{w.name.lower()}_table",
+        w.schema,
+        fs,
+        rows_per_file=8192,
+        stripe_rows=64,
+    )
+    partition = table.land_partition("p0", etl_result.samples)
+    return table, scribe.stats, scribe.etl_ingest_bytes, partition, etl_result.samples
+
+
+def run_pipeline(config: PipelineConfig, track_updates: bool = False) -> PipelineResult:
+    """Run every stage and collect the measurements."""
+    table, scribe_stats, ingest_bytes, partition, samples = land_table(config)
+
+    reader_node = ReaderNode(config.dataloader_config())
+    batches = reader_node.run_all(
+        table.open_readers("p0"),
+        max_batches=config.train_batches,
+    )
+    if not batches:
+        raise ValueError(
+            "partition too small for even one batch: "
+            f"{partition.num_rows} rows < batch {config.effective_batch_size}"
+        )
+
+    w = config.workload
+    model = DLRM(
+        list(w.schema.sparse),
+        DLRMConfig.from_workload(
+            w, max_table_rows=config.max_table_rows, seed=config.seed
+        ),
+        config.toggles.trainer_flags,
+    )
+    cluster = sim_cluster(
+        num_gpus=config.num_gpus, gpus_per_node=config.gpus_per_node
+    )
+    trainer = DistributedTrainer(model, cluster)
+    training = trainer.run(batches, track_updates=track_updates)
+
+    return PipelineResult(
+        config=config,
+        scribe=scribe_stats,
+        scribe_ingest_bytes=ingest_bytes,
+        partition=partition,
+        reader=reader_node.report,
+        training=training,
+        samples_landed=len(samples),
+    )

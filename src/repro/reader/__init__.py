@@ -1,0 +1,42 @@
+"""Reader tier: Fill -> Convert (O3) -> Process (O4) -> trainers."""
+
+from .batch import Batch
+from .config import DataLoaderConfig
+from .convert import ConvertStats, convert_rows
+from .costmodel import ReaderCostModel
+from .fill import FillStats, fill_batches
+from .node import ReaderNode, ReaderReport
+from .preprocess import (
+    TRANSFORM_REGISTRY,
+    ClampValues,
+    DedupPreprocWrapper,
+    HashModulo,
+    ProcessStats,
+    SparseTransform,
+    TruncateLength,
+    apply_transforms,
+)
+from .tier import ReaderTier, TierPlan, readers_required
+
+__all__ = [
+    "Batch",
+    "DataLoaderConfig",
+    "convert_rows",
+    "ConvertStats",
+    "ReaderCostModel",
+    "fill_batches",
+    "FillStats",
+    "ReaderNode",
+    "ReaderReport",
+    "SparseTransform",
+    "HashModulo",
+    "ClampValues",
+    "TruncateLength",
+    "DedupPreprocWrapper",
+    "ProcessStats",
+    "TRANSFORM_REGISTRY",
+    "apply_transforms",
+    "readers_required",
+    "TierPlan",
+    "ReaderTier",
+]

@@ -1,0 +1,89 @@
+"""The preprocessed batch readers ship to trainers.
+
+Holds dense features, labels, plain KJTs, and per-group IKJTs.  The
+``wire_nbytes`` property is what the reader->trainer network link carries
+(Table 3's "Send Bytes"): IKJT groups ship deduplicated values/offsets
+plus one inverse_lookup per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.ikjt import InverseKeyedJaggedTensor
+from ..core.kjt import KeyedJaggedTensor
+from ..core.partial import PartialKeyedJaggedTensor
+
+__all__ = ["Batch"]
+
+
+@dataclass
+class Batch:
+    """One training mini-batch in tensor form."""
+
+    dense: np.ndarray  # (B, num_dense) float32
+    labels: np.ndarray  # (B,) float32
+    kjt: KeyedJaggedTensor | None = None
+    ikjts: list[InverseKeyedJaggedTensor] = field(default_factory=list)
+    #: §7 partial IKJTs (shift-aware dedup)
+    partial: PartialKeyedJaggedTensor | None = None
+
+    def __post_init__(self) -> None:
+        sizes = {self.dense.shape[0], self.labels.shape[0]}
+        if self.kjt is not None:
+            sizes.add(self.kjt.batch_size)
+        for ik in self.ikjts:
+            sizes.add(ik.batch_size)
+        if self.partial is not None:
+            sizes.add(self.partial.batch_size)
+        if len(sizes) != 1:
+            raise ValueError(f"inconsistent batch sizes: {sorted(sizes)}")
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.labels.shape[0])
+
+    @property
+    def sparse_keys(self) -> list[str]:
+        keys = list(self.kjt.keys) if self.kjt is not None else []
+        for ik in self.ikjts:
+            keys.extend(ik.keys)
+        if self.partial is not None:
+            keys.extend(self.partial.keys)
+        return keys
+
+    @property
+    def wire_nbytes(self) -> int:
+        """Bytes shipped reader -> trainer.
+
+        IKJT inverse_lookups *do* travel on this hop (each trainer needs
+        them to expand its local batch); the SDD hop later keeps them
+        local (§5).
+        """
+        total = int(self.dense.nbytes + self.labels.nbytes)
+        if self.kjt is not None:
+            total += self.kjt.nbytes
+        for ik in self.ikjts:
+            total += ik.nbytes
+        if self.partial is not None:
+            total += sum(
+                self.partial[k].nbytes for k in self.partial.keys
+            )
+        return total
+
+    def to_kjt_only(self) -> "Batch":
+        """Expand every (partial) IKJT back to a KJT
+        (functional-equivalence tests)."""
+        tensors = dict(self.kjt.items()) if self.kjt is not None else {}
+        for ik in self.ikjts:
+            tensors.update(ik.to_kjt().items())
+        if self.partial is not None:
+            tensors.update(self.partial.to_kjt().items())
+        return Batch(
+            dense=self.dense,
+            labels=self.labels,
+            kjt=KeyedJaggedTensor(tensors) if tensors else None,
+            ikjts=[],
+        )

@@ -1,0 +1,73 @@
+"""DataLoader configuration — how a training job describes its input.
+
+§4.2: ML engineers add a ``dedup_sparse_features`` field, a
+``List[List[featureKey]]`` of feature groups to deduplicate, next to the
+usual ``sparse_features`` list.  Features named in neither list are not
+materialized (the job does not use them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DataLoaderConfig"]
+
+
+@dataclass(frozen=True)
+class DataLoaderConfig:
+    """One training job's reading/preprocessing specification."""
+
+    batch_size: int
+    #: feature keys converted to plain KJTs
+    sparse_features: tuple[str, ...] = ()
+    #: feature groups converted to (grouped) IKJTs — O3
+    dedup_sparse_features: tuple[tuple[str, ...], ...] = ()
+    #: features converted to *partial* IKJTs (§7): shift-aware dedup that
+    #: also captures lists that changed by appending/dropping IDs
+    partial_dedup_sparse_features: tuple[str, ...] = ()
+    dense_features: tuple[str, ...] = ()
+    #: names of preprocessing transforms to apply, in order (O4)
+    transforms: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        flat = [k for group in self.dedup_sparse_features for k in group]
+        if len(flat) != len(set(flat)):
+            raise ValueError("a feature may appear in only one dedup group")
+        claimed = [
+            *self.sparse_features,
+            *flat,
+            *self.partial_dedup_sparse_features,
+        ]
+        if len(claimed) != len(set(claimed)):
+            raise ValueError(
+                "a feature may be plain, exact-dedup, or partial-dedup — "
+                "not several at once"
+            )
+        for group in self.dedup_sparse_features:
+            if not group:
+                raise ValueError("empty dedup group")
+
+    @property
+    def dedup_feature_names(self) -> list[str]:
+        return [k for group in self.dedup_sparse_features for k in group]
+
+    @property
+    def all_sparse_names(self) -> list[str]:
+        return (
+            list(self.sparse_features)
+            + self.dedup_feature_names
+            + list(self.partial_dedup_sparse_features)
+        )
+
+    def without_dedup(self) -> "DataLoaderConfig":
+        """The baseline config: same features, all as plain KJTs."""
+        return DataLoaderConfig(
+            batch_size=self.batch_size,
+            sparse_features=tuple(self.all_sparse_names),
+            dedup_sparse_features=(),
+            partial_dedup_sparse_features=(),
+            dense_features=self.dense_features,
+            transforms=self.transforms,
+        )

@@ -1,0 +1,88 @@
+"""Feature Conversion: raw rows -> KJT / IKJT tensors (O3, §4.2).
+
+The convert step copies feature data from filled rows into structured
+tensors.  Features listed in ``dedup_sparse_features`` are deduplicated
+into (grouped) IKJTs by hashing row values during conversion; everything
+else becomes plain KJTs.  Work accounting:
+
+* every value of a dedup-group feature is *hashed* (the O3 overhead
+  measured at +21/37/11% convert time in Fig 10);
+* only unique values are *copied* for dedup groups; all values are
+  copied for plain features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ikjt import InverseKeyedJaggedTensor
+from ..core.kjt import KeyedJaggedTensor
+from ..core.partial import PartialKeyedJaggedTensor
+from ..datagen.session import Sample
+from .batch import Batch
+from .config import DataLoaderConfig
+
+__all__ = ["ConvertStats", "convert_rows"]
+
+
+@dataclass
+class ConvertStats:
+    """Work units the cost model turns into convert-CPU seconds."""
+
+    values_copied: int = 0
+    values_hashed: int = 0
+
+    def merge(self, other: "ConvertStats") -> None:
+        self.values_copied += other.values_copied
+        self.values_hashed += other.values_hashed
+
+
+def convert_rows(
+    rows: list[Sample], config: DataLoaderConfig
+) -> tuple[Batch, ConvertStats]:
+    """Convert one filled batch of rows into tensors per the job config."""
+    if not rows:
+        raise ValueError("cannot convert an empty batch")
+    stats = ConvertStats()
+
+    dense = np.array(
+        [[r.dense.get(name, 0.0) for name in config.dense_features] for r in rows],
+        dtype=np.float32,
+    ).reshape(len(rows), len(config.dense_features))
+    labels = np.array([r.label for r in rows], dtype=np.float32)
+
+    kjt = None
+    if config.sparse_features:
+        kjt = KeyedJaggedTensor.from_rows(
+            [r.sparse for r in rows], keys=config.sparse_features
+        )
+        stats.values_copied += kjt.total_values
+
+    ikjts: list[InverseKeyedJaggedTensor] = []
+    for group in config.dedup_sparse_features:
+        # Build the full KJT view of the group, then dedup via hashing.
+        group_kjt = KeyedJaggedTensor.from_rows(
+            [r.sparse for r in rows], keys=group
+        )
+        ikjt = InverseKeyedJaggedTensor.from_kjt(group_kjt, list(group))
+        ikjts.append(ikjt)
+        stats.values_hashed += group_kjt.total_values
+        stats.values_copied += ikjt.total_values
+
+    partial = None
+    if config.partial_dedup_sparse_features:
+        keys = list(config.partial_dedup_sparse_features)
+        partial_kjt = KeyedJaggedTensor.from_rows(
+            [r.sparse for r in rows], keys=keys
+        )
+        partial = PartialKeyedJaggedTensor.from_kjt(partial_kjt, keys)
+        # partial matching scans windows: charge hashing for every value
+        stats.values_hashed += partial_kjt.total_values
+        stats.values_copied += partial.total_values
+
+    return (
+        Batch(dense=dense, labels=labels, kjt=kjt, ikjts=ikjts, partial=partial),
+        stats,
+    )

@@ -1,0 +1,87 @@
+"""ReaderNode: the Fill -> Convert -> Process pipeline (Fig 5).
+
+One stateless reader processes a slice of the dataset into preprocessed
+batches for trainers, accounting modeled CPU time per phase (Fig 10) and
+egress bytes to trainers (Table 3's Send Bytes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from ..metrics.breakdown import ReaderCpuBreakdown
+from ..storage.dwrf import DwrfReader
+from .batch import Batch
+from .config import DataLoaderConfig
+from .convert import convert_rows
+from .costmodel import ReaderCostModel
+from .fill import fill_batches
+from .preprocess import apply_transforms
+
+__all__ = ["ReaderNode", "ReaderReport"]
+
+
+@dataclass
+class ReaderReport:
+    """Everything a reader run measured."""
+
+    cpu: ReaderCpuBreakdown = field(default_factory=ReaderCpuBreakdown)
+    samples: int = 0
+    batches: int = 0
+    read_bytes: int = 0  # compressed, off Tectonic (Table 3 ingest)
+    send_bytes: int = 0  # preprocessed tensors to trainers (Table 3 egress)
+
+    @property
+    def samples_per_cpu_second(self) -> float:
+        """Reader throughput (Fig 7's reader metric)."""
+        if self.cpu.total == 0:
+            return 0.0
+        return self.samples / self.cpu.total
+
+
+class ReaderNode:
+    """One reader node bound to a job config and a cost model."""
+
+    def __init__(
+        self,
+        config: DataLoaderConfig,
+        cost_model: ReaderCostModel | None = None,
+    ):
+        self.config = config
+        self.cost_model = cost_model or ReaderCostModel()
+        self.report = ReaderReport()
+
+    def run(
+        self, file_readers: list[DwrfReader], max_batches: int | None = None
+    ) -> Iterator[Batch]:
+        """Stream preprocessed batches off the given file splits."""
+        cm = self.cost_model
+        rep = self.report
+        for rows, fill_stats in fill_batches(
+            file_readers, self.config.batch_size
+        ):
+            batch, conv_stats = convert_rows(rows, self.config)
+            batch, proc_stats = apply_transforms(batch, self.config.transforms)
+
+            rep.cpu.fill += cm.fill_seconds(
+                fill_stats.compressed_bytes, fill_stats.values_decoded
+            )
+            rep.cpu.convert += cm.convert_seconds(
+                conv_stats.values_copied, conv_stats.values_hashed
+            )
+            rep.cpu.process += cm.process_seconds(
+                proc_stats.values_processed, proc_stats.rows_processed
+            )
+            rep.read_bytes += fill_stats.compressed_bytes
+            rep.send_bytes += batch.wire_nbytes
+            rep.samples += batch.batch_size
+            rep.batches += 1
+            yield batch
+            if max_batches is not None and rep.batches >= max_batches:
+                return
+
+    def run_all(
+        self, file_readers: list[DwrfReader], max_batches: int | None = None
+    ) -> list[Batch]:
+        return list(self.run(file_readers, max_batches))

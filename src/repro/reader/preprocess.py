@@ -1,0 +1,208 @@
+"""Preprocessing transforms over KJTs and IKJTs (O4, §4.3).
+
+Users provide (TorchScript, in production) modules that transform sparse
+values — hashing, clamping, normalization.  RecD wraps each module so it
+*transparently* runs over an IKJT: the wrapper hands the module the
+deduplicated ``values``/``offsets`` slices, so the module body is
+unchanged while processing ``DedupeFactor(f)`` fewer values.  Outputs
+stay IKJTs, so the savings also reach the reader->trainer network hop and
+the trainer itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ikjt import InverseKeyedJaggedTensor
+from ..core.jagged import JaggedTensor
+from ..core.kjt import KeyedJaggedTensor
+from .batch import Batch
+
+__all__ = [
+    "SparseTransform",
+    "HashModulo",
+    "ClampValues",
+    "TruncateLength",
+    "DedupPreprocWrapper",
+    "ProcessStats",
+    "TRANSFORM_REGISTRY",
+    "apply_transforms",
+]
+
+
+class SparseTransform:
+    """Base: a user module mapping JaggedTensor -> JaggedTensor.
+
+    ``elementwise`` transforms map each value independently and are
+    therefore valid over a *partial* IKJT's shared value buffer (§7);
+    structure-changing transforms (truncation) are not.
+    """
+
+    name = "identity"
+    elementwise = True
+
+    def apply(self, jt: JaggedTensor) -> JaggedTensor:
+        raise NotImplementedError
+
+
+class HashModulo(SparseTransform):
+    """Map raw IDs into a bounded embedding-index space (§2.1 'hashing')."""
+
+    name = "hash_modulo"
+
+    def __init__(self, modulus: int = 1_000_003):
+        if modulus <= 0:
+            raise ValueError("modulus must be positive")
+        self.modulus = modulus
+
+    def apply(self, jt: JaggedTensor) -> JaggedTensor:
+        # blake-free multiplicative mix keeps this vectorized & stable
+        mixed = (jt.values * np.int64(2654435761)) % np.int64(self.modulus)
+        return JaggedTensor(np.abs(mixed), jt.offsets.copy())
+
+
+class ClampValues(SparseTransform):
+    """Clamp IDs into [0, max_id] (defensive range normalization)."""
+
+    name = "clamp_values"
+
+    def __init__(self, max_id: int = 2**31 - 1):
+        self.max_id = max_id
+
+    def apply(self, jt: JaggedTensor) -> JaggedTensor:
+        return JaggedTensor(
+            np.clip(jt.values, 0, self.max_id), jt.offsets.copy()
+        )
+
+
+class TruncateLength(SparseTransform):
+    """Keep only the most recent ``max_len`` IDs of each row."""
+
+    name = "truncate_length"
+    elementwise = False
+
+    def __init__(self, max_len: int = 256):
+        if max_len < 0:
+            raise ValueError("max_len must be non-negative")
+        self.max_len = max_len
+
+    def apply(self, jt: JaggedTensor) -> JaggedTensor:
+        lengths = jt.lengths
+        keep = np.minimum(lengths, self.max_len)
+        # keep the *suffix* (most recent IDs) of each row
+        starts = jt.offsets[1:] - keep
+        total = int(keep.sum())
+        if total == 0:
+            return JaggedTensor.empty(jt.num_rows, dtype=jt.values.dtype)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            np.concatenate([[0], np.cumsum(keep)[:-1]]), keep
+        )
+        src = np.repeat(starts, keep) + within
+        offsets = np.zeros(jt.num_rows + 1, dtype=np.int64)
+        np.cumsum(keep, out=offsets[1:])
+        return JaggedTensor(jt.values[src], offsets)
+
+
+@dataclass
+class ProcessStats:
+    """Work units for the process-phase cost model."""
+
+    values_processed: int = 0
+    rows_processed: int = 0
+
+    def merge(self, other: "ProcessStats") -> None:
+        self.values_processed += other.values_processed
+        self.rows_processed += other.rows_processed
+
+
+class DedupPreprocWrapper:
+    """O4: run an unchanged transform over an IKJT's dedup slices."""
+
+    def __init__(self, transform: SparseTransform):
+        self.transform = transform
+
+    def apply(
+        self, ikjt: InverseKeyedJaggedTensor, stats: ProcessStats
+    ) -> InverseKeyedJaggedTensor:
+        out = {}
+        for key, jt in ikjt.items():
+            out[key] = self.transform.apply(jt)
+            stats.values_processed += jt.total_values
+            stats.rows_processed += jt.num_rows
+        return InverseKeyedJaggedTensor(out, ikjt.inverse_lookup.copy())
+
+
+TRANSFORM_REGISTRY: dict[str, type[SparseTransform]] = {
+    HashModulo.name: HashModulo,
+    ClampValues.name: ClampValues,
+    TruncateLength.name: TruncateLength,
+}
+
+
+def apply_transforms(
+    batch: Batch, transform_names: tuple[str, ...]
+) -> tuple[Batch, ProcessStats]:
+    """Apply the configured transforms to every sparse tensor of a batch.
+
+    Plain KJT features process every (duplicate-bearing) value; IKJT
+    groups process only unique values via the wrapper.
+    """
+    stats = ProcessStats()
+    transforms = []
+    for name in transform_names:
+        cls = TRANSFORM_REGISTRY.get(name)
+        if cls is None:
+            raise KeyError(f"unknown transform {name!r}")
+        transforms.append(cls())
+
+    kjt = batch.kjt
+    for t in transforms:
+        if kjt is not None:
+            new = {}
+            for key, jt in kjt.items():
+                new[key] = t.apply(jt)
+                stats.values_processed += jt.total_values
+                stats.rows_processed += jt.num_rows
+            kjt = KeyedJaggedTensor(new)
+    ikjts = batch.ikjts
+    for t in transforms:
+        wrapper = DedupPreprocWrapper(t)
+        ikjts = [wrapper.apply(ik, stats) for ik in ikjts]
+    partial = batch.partial
+    if partial is not None and transforms:
+        from ..core.partial import PartialJaggedTensor, PartialKeyedJaggedTensor
+
+        for t in transforms:
+            if not t.elementwise:
+                raise ValueError(
+                    f"transform {t.name!r} changes row structure and cannot "
+                    "run over a partial IKJT's shared value buffer"
+                )
+        out = {}
+        for key in partial.keys:
+            pt = partial[key]
+            values = pt.values
+            for t in transforms:
+                # element-wise: reuse the JaggedTensor body over the flat
+                # buffer (one trivial segment)
+                shim = JaggedTensor(
+                    values,
+                    np.array([0, values.size], dtype=np.int64),
+                )
+                values = t.apply(shim).values
+                stats.values_processed += values.size
+            stats.rows_processed += pt.batch_size
+            out[key] = PartialJaggedTensor(values, pt.inverse_lookup.copy())
+        partial = PartialKeyedJaggedTensor(out)
+    return (
+        Batch(
+            dense=batch.dense,
+            labels=batch.labels,
+            kjt=kjt,
+            ikjts=ikjts,
+            partial=partial,
+        ),
+        stats,
+    )

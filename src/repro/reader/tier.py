@@ -1,0 +1,101 @@
+"""Reader-tier provisioning and execution (§2.1, §6.3).
+
+The number of readers per job is scaled to meet the trainers' ingestion
+bandwidth; faster readers therefore directly reduce fleet size ("reducing
+the number of readers needed for each training job by the same amount",
+§6.1).  :class:`ReaderTier` runs a fleet of stateless
+:class:`~repro.reader.node.ReaderNode` instances over a partition's file
+splits, as the deployed DPP tier does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..metrics.breakdown import ReaderCpuBreakdown
+from .batch import Batch
+from .config import DataLoaderConfig
+from .costmodel import ReaderCostModel
+from .node import ReaderNode, ReaderReport
+
+__all__ = ["readers_required", "TierPlan", "ReaderTier"]
+
+
+@dataclass(frozen=True)
+class TierPlan:
+    """Provisioning outcome for one training job."""
+
+    trainer_samples_per_s: float
+    reader_samples_per_s: float
+    num_readers: int
+
+
+def readers_required(
+    trainer_samples_per_s: float,
+    reader_samples_per_s: float,
+    headroom: float = 1.1,
+) -> TierPlan:
+    """Readers needed so trainers never data-stall.
+
+    ``headroom`` over-provisions slightly, as the deployed system does to
+    "avoid data stalls in all configurations" (§6.1).
+    """
+    if trainer_samples_per_s < 0 or reader_samples_per_s <= 0:
+        raise ValueError("throughputs must be positive")
+    if headroom < 1.0:
+        raise ValueError("headroom must be >= 1.0")
+    n = math.ceil(trainer_samples_per_s * headroom / reader_samples_per_s)
+    return TierPlan(
+        trainer_samples_per_s=trainer_samples_per_s,
+        reader_samples_per_s=reader_samples_per_s,
+        num_readers=max(n, 1),
+    )
+
+
+class ReaderTier:
+    """A fleet of stateless readers splitting one partition's files.
+
+    File splits are assigned round-robin; each node runs the full Fill ->
+    Convert -> Process pipeline over its splits.  The tier-level report
+    aggregates per-node CPU time and bytes, and the modeled wall-clock is
+    the slowest node (readers run in parallel).
+    """
+
+    def __init__(
+        self,
+        num_readers: int,
+        config: DataLoaderConfig,
+        cost_model: ReaderCostModel | None = None,
+    ):
+        if num_readers <= 0:
+            raise ValueError("num_readers must be positive")
+        self.nodes = [
+            ReaderNode(config, cost_model) for _ in range(num_readers)
+        ]
+
+    def run(self, file_readers: list) -> list[Batch]:
+        """Process every file split; returns all batches (node order)."""
+        batches: list[Batch] = []
+        for i, node in enumerate(self.nodes):
+            splits = file_readers[i :: len(self.nodes)]
+            if splits:
+                batches.extend(node.run_all(splits))
+        return batches
+
+    @property
+    def report(self) -> ReaderReport:
+        total = ReaderReport(cpu=ReaderCpuBreakdown())
+        for node in self.nodes:
+            r = node.report
+            total.cpu.merge(r.cpu)
+            total.samples += r.samples
+            total.batches += r.batches
+            total.read_bytes += r.read_bytes
+            total.send_bytes += r.send_bytes
+        return total
+
+    @property
+    def wall_clock_seconds(self) -> float:
+        """Modeled tier latency: the slowest node's CPU time."""
+        return max((n.report.cpu.total for n in self.nodes), default=0.0)

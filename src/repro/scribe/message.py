@@ -1,0 +1,116 @@
+"""Log messages flowing from inference servers into Scribe.
+
+Inference servers log *features* for every request (to avoid data
+leakage, §2.1) and user-facing services log *events* (impression
+outcomes).  Both are serialized to real bytes here so that Scribe-shard
+compression ratios (O1) are measured, not modeled.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datagen.session import Sample
+
+__all__ = ["FeatureLogRecord", "EventLogRecord", "split_sample"]
+
+_HEADER = struct.Struct("<qqdq")  # request_id, session_id, timestamp, n_feat
+
+
+@dataclass(frozen=True)
+class FeatureLogRecord:
+    """Features logged by an inference server for one request."""
+
+    request_id: int
+    session_id: int
+    timestamp: float
+    sparse: dict[str, np.ndarray]
+    dense: dict[str, float]
+
+    def serialize(self) -> bytes:
+        """Binary wire format: header, then per-feature name/len/values."""
+        parts = [_HEADER.pack(self.request_id, self.session_id,
+                              self.timestamp, len(self.sparse))]
+        for name, values in self.sparse.items():
+            encoded = name.encode()
+            arr = np.ascontiguousarray(values, dtype=np.int64)
+            parts.append(struct.pack("<HQ", len(encoded), arr.size))
+            parts.append(encoded)
+            parts.append(arr.tobytes())
+        parts.append(struct.pack("<q", len(self.dense)))
+        for name, value in self.dense.items():
+            encoded = name.encode()
+            parts.append(struct.pack("<Hd", len(encoded), value))
+            parts.append(encoded)
+        return b"".join(parts)
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "FeatureLogRecord":
+        request_id, session_id, timestamp, n_feat = _HEADER.unpack_from(data, 0)
+        pos = _HEADER.size
+        sparse: dict[str, np.ndarray] = {}
+        for _ in range(n_feat):
+            name_len, n_vals = struct.unpack_from("<HQ", data, pos)
+            pos += 10
+            name = data[pos : pos + name_len].decode()
+            pos += name_len
+            nbytes = n_vals * 8
+            sparse[name] = np.frombuffer(
+                data, dtype=np.int64, count=n_vals, offset=pos
+            ).copy()
+            pos += nbytes
+        (n_dense,) = struct.unpack_from("<q", data, pos)
+        pos += 8
+        dense: dict[str, float] = {}
+        for _ in range(n_dense):
+            name_len, value = struct.unpack_from("<Hd", data, pos)
+            pos += 10
+            name = data[pos : pos + name_len].decode()
+            pos += name_len
+            dense[name] = value
+        return cls(request_id, session_id, timestamp, sparse, dense)
+
+
+@dataclass(frozen=True)
+class EventLogRecord:
+    """An impression outcome (the label source) for one request."""
+
+    request_id: int
+    session_id: int
+    timestamp: float
+    label: int
+
+    _FMT = struct.Struct("<qqdq")
+
+    def serialize(self) -> bytes:
+        return self._FMT.pack(
+            self.request_id, self.session_id, self.timestamp, self.label
+        )
+
+    @classmethod
+    def deserialize(cls, data: bytes) -> "EventLogRecord":
+        request_id, session_id, timestamp, label = cls._FMT.unpack(data)
+        return cls(request_id, session_id, timestamp, label)
+
+
+def split_sample(sample: Sample) -> tuple[FeatureLogRecord, EventLogRecord]:
+    """Decompose a ground-truth sample into the two raw log streams the
+    production pipeline would emit (features at inference time, events when
+    the outcome lands)."""
+    features = FeatureLogRecord(
+        request_id=sample.sample_id,
+        session_id=sample.session_id,
+        timestamp=sample.timestamp,
+        sparse=sample.sparse,
+        dense=sample.dense,
+    )
+    event = EventLogRecord(
+        request_id=sample.sample_id,
+        session_id=sample.session_id,
+        timestamp=sample.timestamp,
+        label=sample.label,
+    )
+    return features, event

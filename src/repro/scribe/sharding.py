@@ -1,0 +1,51 @@
+"""Shard routing policies for Scribe (O1: Log Sharding, §4.1).
+
+Scribe consistently hashes each message to a shard on a physical storage
+node.  The default configuration hashes the *message* (effectively random
+w.r.t. sessions), scattering a session's logs across shards.  RecD
+configures the **session ID** as the shard key so a session's logs land
+on one shard, improving black-box compressibility.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+
+__all__ = ["ShardKeyPolicy", "consistent_hash", "route"]
+
+
+class ShardKeyPolicy(enum.Enum):
+    """What Scribe hashes to pick a shard."""
+
+    #: default: hash the whole message -> sessions scatter across shards
+    RANDOM = "random"
+    #: RecD O1: hash the session ID -> a session's logs colocate
+    SESSION_ID = "session_id"
+
+
+def consistent_hash(key: bytes, num_shards: int) -> int:
+    """Deterministic, well-mixed shard choice.
+
+    Uses blake2b rather than ``hash()`` so routing is stable across
+    processes (Python randomizes ``hash`` per process), which matters for
+    reproducible experiments.
+    """
+    if num_shards <= 0:
+        raise ValueError("num_shards must be positive")
+    digest = hashlib.blake2b(key, digest_size=8).digest()
+    return int.from_bytes(digest, "little") % num_shards
+
+
+def route(
+    policy: ShardKeyPolicy,
+    num_shards: int,
+    session_id: int,
+    message: bytes,
+) -> int:
+    """Pick the shard for one message under ``policy``."""
+    if policy is ShardKeyPolicy.SESSION_ID:
+        key = session_id.to_bytes(8, "little", signed=True)
+    else:
+        key = message
+    return consistent_hash(key, num_shards)

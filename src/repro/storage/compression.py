@@ -1,0 +1,50 @@
+"""Black-box stream compression for file stripes.
+
+Production DWRF compresses each stripe's streams with zstd (§4.1); this
+reproduction uses stdlib zlib, which shares the windowed-LZ behaviour O2
+exploits (adjacent duplicate rows compress away).  Each compressed blob
+is framed with the codec id and raw length so readers self-describe.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+import zlib
+
+__all__ = ["Codec", "compress", "decompress"]
+
+_FRAME = struct.Struct("<BQ")  # codec, raw length
+
+
+class Codec(enum.Enum):
+    NONE = 0
+    ZLIB = 1
+
+
+def compress(data: bytes, codec: Codec = Codec.ZLIB, level: int = 6) -> bytes:
+    """Frame + compress ``data``; NONE framing still records raw length."""
+    if codec is Codec.NONE:
+        body = data
+    elif codec is Codec.ZLIB:
+        body = zlib.compress(data, level)
+    else:
+        raise ValueError(f"unknown codec {codec}")
+    return _FRAME.pack(codec.value, len(data)) + body
+
+
+def decompress(blob: bytes) -> bytes:
+    codec_id, raw_len = _FRAME.unpack_from(blob, 0)
+    body = blob[_FRAME.size :]
+    codec = Codec(codec_id)
+    if codec is Codec.NONE:
+        out = body
+    elif codec is Codec.ZLIB:
+        out = zlib.decompress(body)
+    else:  # pragma: no cover - Codec() raises first
+        raise ValueError(f"unknown codec {codec}")
+    if len(out) != raw_len:
+        raise ValueError(
+            f"corrupt frame: raw length {len(out)} != recorded {raw_len}"
+        )
+    return out

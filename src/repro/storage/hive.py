@@ -1,0 +1,109 @@
+"""Hive-style partitioned tables over Tectonic (§2.1).
+
+Training samples land in time-partitioned tables; each partition is a set
+of DWRF files.  RecD's clustered tables (O2) contain *the same rows* as
+the baseline table, reordered — the table layer only differs in what row
+order the ETL job handed it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..datagen.schema import DatasetSchema
+from ..datagen.session import Sample
+from .compression import Codec
+from .dwrf import DwrfReader, DwrfWriter
+from .encoding import IntEncoding
+from .tectonic import TectonicFS
+
+__all__ = ["HiveTable", "PartitionInfo"]
+
+
+@dataclass
+class PartitionInfo:
+    """Metadata for one landed partition."""
+
+    name: str
+    files: list[str] = field(default_factory=list)
+    num_rows: int = 0
+    raw_bytes: int = 0
+    compressed_bytes: int = 0
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.compressed_bytes == 0:
+            return 1.0
+        return self.raw_bytes / self.compressed_bytes
+
+
+class HiveTable:
+    """A partitioned training table stored as DWRF files in Tectonic."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: DatasetSchema,
+        fs: TectonicFS,
+        rows_per_file: int = 8192,
+        stripe_rows: int = 1024,
+        codec: Codec = Codec.ZLIB,
+        int_encoding: IntEncoding = IntEncoding.VARINT,
+    ):
+        self.name = name
+        self.schema = schema
+        self.fs = fs
+        self.rows_per_file = rows_per_file
+        self.stripe_rows = stripe_rows
+        self.codec = codec
+        self.int_encoding = int_encoding
+        self.partitions: dict[str, PartitionInfo] = {}
+
+    def land_partition(
+        self, partition: str, samples: list[Sample]
+    ) -> PartitionInfo:
+        """Write one partition's rows, in the order given, as DWRF files."""
+        if partition in self.partitions:
+            raise ValueError(f"partition {partition} already landed")
+        writer = DwrfWriter(
+            self.schema, self.stripe_rows, self.codec, self.int_encoding
+        )
+        info = PartitionInfo(name=partition)
+        for file_idx, start in enumerate(
+            range(0, len(samples), self.rows_per_file)
+        ):
+            chunk = samples[start : start + self.rows_per_file]
+            blob, stats = writer.write(chunk)
+            path = f"{self.name}/{partition}/part-{file_idx:05d}.dwrf"
+            self.fs.write(path, blob)
+            info.files.append(path)
+            info.num_rows += stats.num_rows
+            info.raw_bytes += stats.raw_bytes
+            info.compressed_bytes += stats.compressed_bytes
+        self.partitions[partition] = info
+        return info
+
+    def drop_partition(self, partition: str) -> None:
+        """Retention: delete an aged-out partition's files (§2.1)."""
+        info = self.partitions.pop(partition, None)
+        if info is None:
+            raise KeyError(partition)
+        for path in info.files:
+            self.fs.delete(path)
+
+    def open_readers(self, partition: str) -> list[DwrfReader]:
+        """One reader per file of the partition (how a reader tier scans)."""
+        info = self.partitions[partition]
+        return [
+            DwrfReader(self.fs.read(path), self.schema) for path in info.files
+        ]
+
+    def read_partition(self, partition: str) -> list[Sample]:
+        out: list[Sample] = []
+        for reader in self.open_readers(partition):
+            out.extend(reader.read_all())
+        return out
+
+    def partition_stored_bytes(self, partition: str) -> int:
+        info = self.partitions[partition]
+        return sum(self.fs.size(p) for p in info.files)

@@ -1,0 +1,120 @@
+"""Model checkpointing and the Model Store (Figure 1).
+
+The training pipeline's output is a trained model landed in a model
+store.  This module serializes a :class:`~repro.trainer.model.DLRM` —
+embedding tables, dense parameters, and sparse-optimizer state — to a
+self-describing byte blob (``np.savez``) and provides a
+Tectonic-backed :class:`ModelStore` with named, versioned snapshots.
+
+Checkpoint/restore is exact: a restored model continues training on the
+precise trajectory it left (asserted by the test suite), which also
+gives RecD's equivalence guarantees a persistence story.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from ..storage.tectonic import TectonicFS
+from .model import DLRM
+
+__all__ = ["model_state", "save_model", "load_model", "ModelStore"]
+
+_FORMAT_KEY = "__format__"
+_FORMAT_VERSION = 1
+
+
+def model_state(model: DLRM) -> dict[str, np.ndarray]:
+    """Flatten every trainable/stateful array under stable names."""
+    state: dict[str, np.ndarray] = {
+        _FORMAT_KEY: np.array([_FORMAT_VERSION], dtype=np.int64)
+    }
+    for name, feature in model.sparse_arch.features.items():
+        state[f"emb/{name}/weight"] = feature.table.weight
+    for i, p in enumerate(model.dense_params()):
+        state[f"dense/{i}"] = p.value
+    if model._sparse_opts is not None:
+        for name, opt in model._sparse_opts.items():
+            state[f"adagrad/{name}/accumulator"] = opt.accumulator
+    return state
+
+
+def save_model(model: DLRM) -> bytes:
+    """Serialize the model's state to a compressed npz blob."""
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **model_state(model))
+    return buf.getvalue()
+
+
+def load_model(model: DLRM, blob: bytes) -> None:
+    """Restore state in place.  The model must have the same architecture
+    (shapes are validated array by array)."""
+    with np.load(io.BytesIO(blob)) as data:
+        version = int(data[_FORMAT_KEY][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version {version}")
+        expected = model_state(model)
+        missing = set(expected) - set(data.files)
+        extra = set(data.files) - set(expected)
+        if missing or extra:
+            raise ValueError(
+                f"checkpoint/model mismatch: missing={sorted(missing)} "
+                f"extra={sorted(extra)}"
+            )
+        for key, target in expected.items():
+            if key == _FORMAT_KEY:
+                continue
+            src = data[key]
+            if src.shape != target.shape:
+                raise ValueError(
+                    f"shape mismatch for {key}: checkpoint {src.shape} vs "
+                    f"model {target.shape}"
+                )
+            target[...] = src
+
+
+class ModelStore:
+    """Versioned model snapshots on the (simulated) Tectonic filesystem."""
+
+    def __init__(self, fs: TectonicFS, prefix: str = "model_store"):
+        self.fs = fs
+        self.prefix = prefix
+
+    def _path(self, name: str, version: int) -> str:
+        return f"{self.prefix}/{name}/v{version:06d}.npz"
+
+    def versions(self, name: str) -> list[int]:
+        paths = self.fs.listdir(f"{self.prefix}/{name}/")
+        return sorted(
+            int(p.rsplit("/v", 1)[1].removesuffix(".npz")) for p in paths
+        )
+
+    def save(self, name: str, model: DLRM) -> int:
+        """Snapshot under the next version number; returns the version."""
+        existing = self.versions(name)
+        version = (existing[-1] + 1) if existing else 1
+        self.fs.write(self._path(name, version), save_model(model))
+        return version
+
+    def load(self, name: str, model: DLRM, version: int | None = None) -> int:
+        """Restore the given (default: latest) version into ``model``."""
+        existing = self.versions(name)
+        if not existing:
+            raise FileNotFoundError(f"no snapshots for {name!r}")
+        version = existing[-1] if version is None else version
+        if version not in existing:
+            raise FileNotFoundError(f"{name!r} has no version {version}")
+        load_model(model, self.fs.read(self._path(name, version)))
+        return version
+
+    def prune(self, name: str, keep_last: int = 3) -> list[int]:
+        """Retention for old snapshots; returns deleted versions."""
+        if keep_last < 0:
+            raise ValueError("keep_last must be non-negative")
+        existing = self.versions(name)
+        doomed = existing[: max(0, len(existing) - keep_last)]
+        for version in doomed:
+            self.fs.delete(self._path(name, version))
+        return doomed

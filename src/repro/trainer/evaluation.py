@@ -1,0 +1,87 @@
+"""Offline evaluation metrics for click-through-rate models.
+
+The standard DLRM quality metrics: log loss, ROC AUC, and normalized
+entropy (log loss relative to the base-rate predictor — the metric
+Meta's DLRM papers report).  RecD itself does not change accuracy
+(§6.2), which the test suite verifies by computing identical metrics on
+the KJT and IKJT paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["log_loss", "roc_auc", "normalized_entropy", "evaluate"]
+
+_EPS = 1e-12
+
+
+def _validate(predictions: np.ndarray, labels: np.ndarray):
+    predictions = np.asarray(predictions, dtype=np.float64).ravel()
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if predictions.shape != labels.shape:
+        raise ValueError("predictions and labels must align")
+    if predictions.size == 0:
+        raise ValueError("empty evaluation set")
+    if predictions.min() < 0 or predictions.max() > 1:
+        raise ValueError("predictions must be probabilities in [0, 1]")
+    if not np.isin(labels, (0.0, 1.0)).all():
+        raise ValueError("labels must be binary")
+    return predictions, labels
+
+
+def log_loss(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Mean binary cross-entropy of probability predictions."""
+    p, y = _validate(predictions, labels)
+    p = np.clip(p, _EPS, 1.0 - _EPS)
+    return float(-(y * np.log(p) + (1 - y) * np.log(1 - p)).mean())
+
+
+def roc_auc(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """ROC AUC via the rank statistic (ties share average rank).
+
+    Returns 0.5 when only one class is present (no ranking signal).
+    """
+    p, y = _validate(predictions, labels)
+    n_pos = int(y.sum())
+    n_neg = y.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(p, kind="stable")
+    ranks = np.empty(p.size, dtype=np.float64)
+    sorted_p = p[order]
+    # average ranks across tied prediction groups
+    i = 0
+    while i < p.size:
+        j = i
+        while j + 1 < p.size and sorted_p[j + 1] == sorted_p[i]:
+            j += 1
+        ranks[order[i : j + 1]] = 0.5 * (i + j) + 1.0
+        i = j + 1
+    pos_rank_sum = ranks[y == 1].sum()
+    return float(
+        (pos_rank_sum - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg)
+    )
+
+
+def normalized_entropy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Log loss normalized by the base-rate predictor's log loss.
+
+    < 1.0 means the model beats always-predicting the CTR; the lower the
+    better.  Undefined (returns inf) when labels are single-class.
+    """
+    p, y = _validate(predictions, labels)
+    rate = float(y.mean())
+    if rate in (0.0, 1.0):
+        return float("inf")
+    base = -(rate * np.log(rate) + (1 - rate) * np.log(1 - rate))
+    return log_loss(p, y) / base
+
+
+def evaluate(predictions: np.ndarray, labels: np.ndarray) -> dict[str, float]:
+    """All metrics at once."""
+    return {
+        "log_loss": log_loss(predictions, labels),
+        "roc_auc": roc_auc(predictions, labels),
+        "normalized_entropy": normalized_entropy(predictions, labels),
+    }

@@ -1,0 +1,57 @@
+"""Pairwise dot-product feature interaction (§2.2, Naumov et al. 2019).
+
+The interaction layer stacks the bottom-MLP output and every pooled
+sparse feature into (B, M+1, D) and computes all pairwise dot products
+(lower triangle, excluding self), concatenating them with the dense
+representation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DotInteraction"]
+
+
+class DotInteraction:
+    """Explicit second-order interactions across feature vectors."""
+
+    def __init__(self) -> None:
+        self._cache: dict | None = None
+
+    def output_dim(self, num_features: int, dim: int) -> int:
+        """num_features counts the dense representation too."""
+        return dim + num_features * (num_features - 1) // 2
+
+    def forward(self, vectors: list[np.ndarray]) -> np.ndarray:
+        """``vectors[0]`` is the bottom-MLP output; the rest are pooled
+        embeddings, all (B, D)."""
+        if not vectors:
+            raise ValueError("need at least one feature vector")
+        T = np.stack(vectors, axis=1)  # (B, M, D)
+        B, M, D = T.shape
+        G = T @ T.transpose(0, 2, 1)  # (B, M, M) gram
+        iu, ju = np.tril_indices(M, k=-1)
+        pairs = G[:, iu, ju]  # (B, M(M-1)/2)
+        out = np.concatenate([vectors[0], pairs], axis=1)
+        self._cache = {"T": T, "iu": iu, "ju": ju, "M": M, "D": D}
+        return out
+
+    def backward(self, dout: np.ndarray) -> list[np.ndarray]:
+        if self._cache is None:
+            raise RuntimeError("backward before forward")
+        c = self._cache
+        T, iu, ju, M, D = c["T"], c["iu"], c["ju"], c["M"], c["D"]
+        B = T.shape[0]
+        d_dense = dout[:, :D]
+        d_pairs = dout[:, D:]
+        dG = np.zeros((B, M, M))
+        dG[:, iu, ju] = d_pairs
+        # G = T T^T -> dT = (dG + dG^T) T
+        dT = (dG + dG.transpose(0, 2, 1)) @ T
+        grads = [dT[:, m, :].copy() for m in range(M)]
+        grads[0] += d_dense
+        return grads
+
+    def flops(self, batch_size: int, num_features: int, dim: int) -> float:
+        return float(2 * batch_size * num_features * num_features * dim)

@@ -1,0 +1,39 @@
+"""Binary cross-entropy with logits (click-through-rate loss)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bce_with_logits", "sigmoid"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+def bce_with_logits(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean BCE loss and its gradient w.r.t. logits.
+
+    Uses the log-sum-exp form for stability: loss = max(x,0) - x*y +
+    log(1+exp(-|x|)).
+    """
+    logits = np.asarray(logits, dtype=np.float64).ravel()
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if logits.shape != labels.shape:
+        raise ValueError("logits and labels must align")
+    n = logits.size
+    if n == 0:
+        raise ValueError("empty batch")
+    loss = (
+        np.maximum(logits, 0) - logits * labels + np.log1p(np.exp(-np.abs(logits)))
+    ).mean()
+    grad = (sigmoid(logits) - labels) / n
+    return float(loss), grad

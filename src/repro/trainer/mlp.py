@@ -1,0 +1,86 @@
+"""Multilayer perceptrons with explicit forward/backward (NumPy).
+
+DLRMs are MLPs + embedding tables (§2.2); the bottom MLP transforms dense
+features, the top MLP produces the prediction.  Both are replicated
+data-parallel across GPUs, so their gradients go through all-reduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .params import Parameter
+
+__all__ = ["Linear", "MLP"]
+
+
+class Linear:
+    """y = x W + b with cached input for backward."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        scale = np.sqrt(2.0 / in_dim)
+        self.W = Parameter(rng.normal(0.0, scale, size=(in_dim, out_dim)))
+        self.b = Parameter(np.zeros(out_dim))
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.W.value + self.b.value
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.W.grad += self._x.T @ dy
+        self.b.grad += dy.sum(axis=0)
+        return dy @ self.W.value.T
+
+    def params(self) -> list[Parameter]:
+        return [self.W, self.b]
+
+    def flops(self, batch_size: int) -> float:
+        """2*B*in*out multiply-adds for forward (backward is ~2x that)."""
+        in_dim, out_dim = self.W.shape
+        return 2.0 * batch_size * in_dim * out_dim
+
+
+class MLP:
+    """A ReLU MLP; the final layer is linear (no activation)."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        layer_dims: tuple[int, ...],
+        rng: np.random.Generator,
+    ):
+        if not layer_dims:
+            raise ValueError("need at least one layer")
+        self.layers: list[Linear] = []
+        prev = in_dim
+        for dim in layer_dims:
+            self.layers.append(Linear(prev, dim, rng))
+            prev = dim
+        self.out_dim = prev
+        self._relu_masks: list[np.ndarray] = []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._relu_masks = []
+        for i, layer in enumerate(self.layers):
+            x = layer.forward(x)
+            if i < len(self.layers) - 1:
+                mask = x > 0
+                self._relu_masks.append(mask)
+                x = x * mask
+        return x
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        for i in range(len(self.layers) - 1, -1, -1):
+            if i < len(self.layers) - 1:
+                dy = dy * self._relu_masks[i]
+            dy = self.layers[i].backward(dy)
+        return dy
+
+    def params(self) -> list[Parameter]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def flops(self, batch_size: int) -> float:
+        return sum(layer.flops(batch_size) for layer in self.layers)

@@ -1,0 +1,31 @@
+"""Trainable parameter container for the NumPy DLRM."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A dense trainable tensor with an accumulated gradient."""
+
+    __slots__ = ("value", "grad")
+
+    def __init__(self, value: np.ndarray):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.value.nbytes)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:
+        return f"Parameter(shape={self.value.shape})"

@@ -1,0 +1,129 @@
+"""Tests for the DedupeFactor analytical model (§4.2) and §7 heuristic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    DEFAULT_DEDUPE_THRESHOLD,
+    FeatureDedupStats,
+    JaggedTensor,
+    dedupe_factor,
+    dedupe_len,
+    measured_dedupe_factor,
+    select_features_to_dedup,
+)
+
+
+class TestPaperWorkedExample:
+    def test_section_4_2_example(self):
+        """B = S = 3, l(b) = 3, d(b) = 0.5 -> DedupeLen 6, factor 1.5."""
+        assert dedupe_len(3, 3, 3, 0.5) == pytest.approx(6.0)
+        assert dedupe_factor(3, 3, 3, 0.5) == pytest.approx(1.5)
+
+    def test_no_duplication(self):
+        assert dedupe_factor(10, 4096, 16.5, 0.0) == pytest.approx(1.0)
+
+    def test_always_duplicated_limit(self):
+        # d = 1: every session keeps one copy -> factor S.
+        assert dedupe_factor(10, 4096, 16.5, 1.0) == pytest.approx(16.5)
+
+    def test_single_sample_session(self):
+        assert dedupe_factor(10, 4096, 1.0, 0.9) == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            dedupe_len(1, 1, 2, 1.5)
+        with pytest.raises(ValueError):
+            dedupe_len(1, 1, 2, -0.1)
+
+    def test_bad_session_count(self):
+        with pytest.raises(ValueError):
+            dedupe_len(1, 1, 0.5, 0.5)
+
+    def test_negative_sizes(self):
+        with pytest.raises(ValueError):
+            dedupe_len(-1, 1, 2, 0.5)
+        with pytest.raises(ValueError):
+            dedupe_len(1, -1, 2, 0.5)
+
+    def test_zero_total_is_factor_one(self):
+        assert dedupe_factor(0, 0, 2, 0.5) == 1.0
+
+
+@given(
+    st.floats(min_value=0.1, max_value=1000),
+    st.integers(min_value=1, max_value=10000),
+    st.floats(min_value=1.0, max_value=100.0),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_factor_bounds(l, b, s, d):
+    """1 <= DedupeFactor <= S always, monotone in d."""
+    f = dedupe_factor(l, b, s, d)
+    assert 1.0 - 1e-9 <= f <= s + 1e-9
+    if d < 0.99:
+        assert dedupe_factor(l, b, s, min(1.0, d + 0.01)) >= f - 1e-12
+
+
+@given(
+    st.integers(min_value=1, max_value=20),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_property_model_matches_measurement_deterministic(s, d_rounded):
+    """On a synthetic batch built exactly to the model's assumptions
+    (every session has S samples, a fraction d of adjacent rows repeat),
+    the measured dedupe factor matches the analytical one."""
+    # Build a batch of `sessions` sessions with s samples each; within a
+    # session, value changes happen deterministically at evenly spaced rows
+    # to realize duplicate-probability d without sampling noise.
+    sessions = 40
+    d = round(d_rounded * (s - 1)) / (s - 1) if s > 1 else 0.0
+    rows = []
+    next_id = 0
+    for _ in range(sessions):
+        changes = round(d * (s - 1))  # adjacent pairs that repeat
+        keeps = s - 1 - changes
+        next_id += 1
+        current = next_id
+        # first `changes` transitions repeat, remaining transitions change
+        rows.append([current])
+        for t in range(s - 1):
+            if t >= changes:
+                next_id += 1
+                current = next_id
+            rows.append([current])
+    jt = JaggedTensor.from_lists(rows)
+    measured = measured_dedupe_factor(jt)
+    expected = dedupe_factor(1, len(rows), s, d)
+    assert measured == pytest.approx(expected, rel=1e-9)
+
+
+class TestSelection:
+    def test_threshold_filtering_and_order(self):
+        stats = [
+            FeatureDedupStats("low", 10, 0.1),
+            FeatureDedupStats("high", 10, 0.95),
+            FeatureDedupStats("mid", 10, 0.6),
+        ]
+        chosen = select_features_to_dedup(stats, 4096, 16.5)
+        assert chosen == ["high", "mid"]
+
+    def test_custom_threshold(self):
+        stats = [FeatureDedupStats("f", 10, 0.6)]
+        assert select_features_to_dedup(stats, 4096, 16.5, threshold=10.0) == []
+
+    def test_default_threshold_is_paper_value(self):
+        assert DEFAULT_DEDUPE_THRESHOLD == 1.5
+
+    def test_stats_factor_method(self):
+        s = FeatureDedupStats("f", 3, 0.5)
+        assert s.factor(3, 3) == pytest.approx(1.5)
+
+    def test_tie_broken_by_name(self):
+        stats = [
+            FeatureDedupStats("b", 5, 0.9),
+            FeatureDedupStats("a", 5, 0.9),
+        ]
+        assert select_features_to_dedup(stats, 64, 8) == ["a", "b"]

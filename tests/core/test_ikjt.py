@@ -1,0 +1,199 @@
+"""Tests for IKJT: the Figure 5 worked example plus lossless round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    InverseKeyedJaggedTensor,
+    JaggedTensor,
+    KeyedJaggedTensor,
+    dedup_grouped_rows,
+    dedup_rows,
+)
+
+
+def figure5_kjt():
+    rows = [
+        {"a": [1, 2], "b": [3, 4, 5], "c": [7, 8], "d": [9]},
+        {"b": [4, 5, 6], "c": [7, 8], "d": [9]},
+        {"a": [1, 2], "b": [3, 4, 5], "c": [10], "d": [11]},
+    ]
+    return KeyedJaggedTensor.from_rows(rows)
+
+
+class TestFigure5:
+    """The paper's worked example, asserted slice by slice."""
+
+    def test_feature_b_single_key_ikjt(self):
+        ikjt = InverseKeyedJaggedTensor.from_kjt(figure5_kjt(), ["b"])
+        np.testing.assert_array_equal(ikjt["b"].values, [3, 4, 5, 4, 5, 6])
+        np.testing.assert_array_equal(ikjt["b"].offsets, [0, 3, 6])
+        np.testing.assert_array_equal(ikjt.inverse_lookup, [0, 1, 0])
+
+    def test_grouped_c_d(self):
+        ikjt = InverseKeyedJaggedTensor.from_kjt(figure5_kjt(), ["c", "d"])
+        np.testing.assert_array_equal(ikjt["c"].values, [7, 8, 10])
+        np.testing.assert_array_equal(ikjt["c"].offsets, [0, 2, 3])
+        np.testing.assert_array_equal(ikjt["d"].values, [9, 11])
+        np.testing.assert_array_equal(ikjt["d"].offsets, [0, 1, 2])
+        np.testing.assert_array_equal(ikjt.inverse_lookup, [0, 0, 1])
+
+    def test_round_trip_restores_kjt(self):
+        kjt = figure5_kjt()
+        for keys in (["a"], ["b"], ["c", "d"]):
+            ikjt = InverseKeyedJaggedTensor.from_kjt(kjt, keys)
+            assert ikjt.to_kjt() == kjt.select(keys)
+
+    def test_dedupe_factor_feature_a(self):
+        # a: rows [1,2], [], [1,2] -> 4 original values, 2 after dedup.
+        ikjt = InverseKeyedJaggedTensor.from_kjt(figure5_kjt(), ["a"])
+        assert ikjt.dedupe_factor() == pytest.approx(2.0)
+
+    def test_wire_bytes_exclude_inverse_lookup(self):
+        ikjt = InverseKeyedJaggedTensor.from_kjt(figure5_kjt(), ["c", "d"])
+        assert ikjt.wire_nbytes == ikjt.nbytes - ikjt.inverse_lookup.nbytes
+
+
+class TestGroupedInvariant:
+    def test_unsynchronized_rows_not_deduped(self):
+        """§4.2: if grouped features are not synchronously updated, the
+        affected rows must stay un-deduplicated."""
+        rows = [
+            {"x": [1], "y": [5]},
+            {"x": [1], "y": [6]},  # x repeats but y changed -> no merge
+            {"x": [1], "y": [5]},  # both match row 0 -> merge
+        ]
+        kjt = KeyedJaggedTensor.from_rows(rows)
+        ikjt = InverseKeyedJaggedTensor.from_kjt(kjt, ["x", "y"])
+        assert ikjt.num_unique == 2
+        np.testing.assert_array_equal(ikjt.inverse_lookup, [0, 1, 0])
+        assert ikjt.to_kjt() == kjt
+
+    def test_group_dedup_weaker_than_single(self):
+        rows = [
+            {"x": [1], "y": [5]},
+            {"x": [1], "y": [6]},
+        ]
+        kjt = KeyedJaggedTensor.from_rows(rows)
+        solo = InverseKeyedJaggedTensor.from_kjt(kjt, ["x"])
+        grouped = InverseKeyedJaggedTensor.from_kjt(kjt, ["x", "y"])
+        assert solo.num_unique == 1
+        assert grouped.num_unique == 2
+
+
+class TestValidation:
+    def test_empty_keys_rejected(self):
+        with pytest.raises(ValueError):
+            InverseKeyedJaggedTensor.from_kjt(figure5_kjt(), [])
+
+    def test_no_tensors_rejected(self):
+        with pytest.raises(ValueError):
+            InverseKeyedJaggedTensor({}, np.array([0]))
+
+    def test_mismatched_unique_counts_rejected(self):
+        with pytest.raises(ValueError):
+            InverseKeyedJaggedTensor(
+                {
+                    "a": JaggedTensor.from_lists([[1]]),
+                    "b": JaggedTensor.from_lists([[1], [2]]),
+                },
+                np.array([0]),
+            )
+
+    def test_out_of_range_inverse_rejected(self):
+        with pytest.raises(ValueError):
+            InverseKeyedJaggedTensor(
+                {"a": JaggedTensor.from_lists([[1]])}, np.array([0, 1])
+            )
+
+    def test_2d_inverse_rejected(self):
+        with pytest.raises(ValueError):
+            InverseKeyedJaggedTensor(
+                {"a": JaggedTensor.from_lists([[1]])}, np.zeros((1, 1))
+            )
+
+    def test_unhashable_and_eq(self):
+        a = InverseKeyedJaggedTensor.from_kjt(figure5_kjt(), ["a"])
+        b = InverseKeyedJaggedTensor.from_kjt(figure5_kjt(), ["a"])
+        assert a == b
+        assert a.__eq__(1) is NotImplemented
+        with pytest.raises(TypeError):
+            hash(a)
+        assert "dedupe_factor" in repr(a)
+
+
+class TestDedupRows:
+    def test_single(self):
+        jt = JaggedTensor.from_lists([[1, 2], [3], [1, 2], [3], [1, 2]])
+        uniq, inv = dedup_rows(jt)
+        np.testing.assert_array_equal(uniq, [0, 1])
+        np.testing.assert_array_equal(inv, [0, 1, 0, 1, 0])
+
+    def test_empty_rows_are_equal(self):
+        jt = JaggedTensor.from_lists([[], [], [1]])
+        uniq, inv = dedup_rows(jt)
+        np.testing.assert_array_equal(uniq, [0, 2])
+        np.testing.assert_array_equal(inv, [0, 0, 1])
+
+    def test_grouped_validations(self):
+        with pytest.raises(ValueError):
+            dedup_grouped_rows([])
+        with pytest.raises(ValueError):
+            dedup_grouped_rows(
+                [
+                    JaggedTensor.from_lists([[1]]),
+                    JaggedTensor.from_lists([[1], [2]]),
+                ]
+            )
+
+    def test_reconstruction_identity(self):
+        jt = JaggedTensor.from_lists([[5], [5], [6], [5]])
+        uniq, inv = dedup_rows(jt)
+        rebuilt = [jt.row(u).tolist() for u in uniq]
+        assert [rebuilt[i] for i in inv] == jt.to_lists()
+
+
+@st.composite
+def kjt_batches(draw):
+    n_keys = draw(st.integers(min_value=1, max_value=3))
+    keys = [f"f{i}" for i in range(n_keys)]
+    n = draw(st.integers(min_value=1, max_value=16))
+    # Small value alphabet to force duplicate collisions.
+    rows = [
+        {
+            k: draw(
+                st.lists(st.integers(min_value=0, max_value=3), max_size=4)
+            )
+            for k in keys
+        }
+        for _ in range(n)
+    ]
+    return KeyedJaggedTensor.from_rows(rows, keys=keys), keys
+
+
+@settings(max_examples=60)
+@given(kjt_batches())
+def test_property_ikjt_round_trip_lossless(batch):
+    """IKJT -> KJT must restore the exact original batch for any grouping."""
+    kjt, keys = batch
+    ikjt = InverseKeyedJaggedTensor.from_kjt(kjt, keys)
+    assert ikjt.to_kjt() == kjt.select(keys)
+    # dedup never expands
+    assert ikjt.num_unique <= kjt.batch_size
+    assert ikjt.dedupe_factor() >= 1.0
+
+
+@settings(max_examples=60)
+@given(kjt_batches())
+def test_property_inverse_lookup_first_occurrence(batch):
+    """inverse_lookup indices appear in first-occurrence order: the first
+    time a unique id appears equals the number of distinct ids before it."""
+    kjt, keys = batch
+    ikjt = InverseKeyedJaggedTensor.from_kjt(kjt, keys)
+    seen = set()
+    for idx in ikjt.inverse_lookup:
+        if idx not in seen:
+            assert idx == len(seen)
+            seen.add(int(idx))

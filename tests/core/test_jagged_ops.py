@@ -1,0 +1,180 @@
+"""Unit and property tests for the jagged kernels (O6 and pooling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    JaggedTensor,
+    dense_index_select,
+    expand_pooled,
+    gather_ranges,
+    jagged_elementwise_sum,
+    jagged_index_select,
+    segment_max,
+    segment_mean,
+    segment_sum,
+)
+
+
+class TestJaggedIndexSelect:
+    def test_identity(self):
+        jt = JaggedTensor.from_lists([[1, 2], [3], []])
+        out = jagged_index_select(jt, np.arange(3))
+        assert out == jt
+
+    def test_gather_with_repeats(self):
+        jt = JaggedTensor.from_lists([[1, 2], [3], [4, 5, 6]])
+        out = jagged_index_select(jt, np.array([2, 0, 0]))
+        assert out.to_lists() == [[4, 5, 6], [1, 2], [1, 2]]
+
+    def test_empty_selection(self):
+        jt = JaggedTensor.from_lists([[1, 2]])
+        out = jagged_index_select(jt, np.array([], dtype=np.int64))
+        assert out.num_rows == 0
+
+    def test_select_empty_rows(self):
+        jt = JaggedTensor.from_lists([[], [1], []])
+        out = jagged_index_select(jt, np.array([0, 2, 1]))
+        assert out.to_lists() == [[], [], [1]]
+
+    def test_out_of_range_raises(self):
+        jt = JaggedTensor.from_lists([[1]])
+        with pytest.raises(IndexError):
+            jagged_index_select(jt, np.array([1]))
+        with pytest.raises(IndexError):
+            jagged_index_select(jt, np.array([-1]))
+
+    def test_2d_indices_rejected(self):
+        jt = JaggedTensor.from_lists([[1]])
+        with pytest.raises(ValueError):
+            gather_ranges(jt.values, jt.offsets, np.zeros((1, 1), dtype=int))
+
+    def test_matches_dense_baseline(self):
+        jt = JaggedTensor.from_lists([[1, 2, 3], [], [4], [5, 6]])
+        idx = np.array([3, 3, 0, 2, 1])
+        assert jagged_index_select(jt, idx) == dense_index_select(jt, idx)
+
+    def test_dense_baseline_all_empty(self):
+        jt = JaggedTensor.empty(4)
+        idx = np.array([1, 2])
+        out = dense_index_select(jt, idx)
+        assert out.num_rows == 2
+        assert out.total_values == 0
+
+
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=-100, max_value=100), max_size=5),
+        min_size=1,
+        max_size=10,
+    ),
+    st.data(),
+)
+def test_property_jagged_equals_dense_index_select(rows, data):
+    """O6's kernel must agree with the pad-then-gather baseline everywhere."""
+    jt = JaggedTensor.from_lists(rows)
+    idx = data.draw(
+        st.lists(
+            st.integers(min_value=0, max_value=len(rows) - 1), max_size=15
+        )
+    )
+    idx = np.asarray(idx, dtype=np.int64)
+    assert jagged_index_select(jt, idx) == dense_index_select(jt, idx)
+
+
+class TestSegmentReductions:
+    def test_segment_sum_2d(self):
+        acts = np.arange(12, dtype=np.float64).reshape(6, 2)
+        offsets = np.array([0, 2, 2, 6])
+        out = segment_sum(acts, offsets)
+        np.testing.assert_allclose(out, [[2, 4], [0, 0], [28, 32]])
+
+    def test_segment_sum_1d(self):
+        out = segment_sum(np.array([1.0, 2.0, 3.0]), np.array([0, 1, 3]))
+        np.testing.assert_allclose(out, [1.0, 5.0])
+
+    def test_segment_mean_handles_empty(self):
+        acts = np.array([[2.0], [4.0]])
+        out = segment_mean(acts, np.array([0, 2, 2]))
+        np.testing.assert_allclose(out, [[3.0], [0.0]])
+
+    def test_segment_max(self):
+        acts = np.array([[1.0, 9.0], [5.0, 2.0], [3.0, 3.0]])
+        out = segment_max(acts, np.array([0, 2, 3]))
+        np.testing.assert_allclose(out, [[5.0, 9.0], [3.0, 3.0]])
+
+    def test_segment_max_empty_segment_zero(self):
+        acts = np.array([[7.0]])
+        out = segment_max(acts, np.array([0, 0, 1]))
+        np.testing.assert_allclose(out, [[0.0], [7.0]])
+
+    def test_segment_max_all_empty(self):
+        out = segment_max(np.empty((0, 3)), np.array([0, 0, 0]))
+        np.testing.assert_allclose(out, np.zeros((2, 3)))
+
+    def test_mismatched_rows_raise(self):
+        with pytest.raises(ValueError):
+            segment_sum(np.zeros((3, 1)), np.array([0, 2]))
+
+    def test_no_empty_nonempty_merge(self):
+        # empty segment between two non-empty ones must stay zero
+        acts = np.array([[1.0], [2.0], [3.0]])
+        out = segment_max(acts, np.array([0, 1, 1, 3]))
+        np.testing.assert_allclose(out, [[1.0], [0.0], [3.0]])
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=8),
+    st.integers(min_value=1, max_value=4),
+)
+def test_property_segment_sum_matches_loop(lengths, dim):
+    """Vectorized segment_sum equals a per-segment Python-loop reference."""
+    rng = np.random.default_rng(0)
+    total = sum(lengths)
+    acts = rng.normal(size=(total, dim))
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    got = segment_sum(acts, offsets)
+    for i, ln in enumerate(lengths):
+        ref = acts[offsets[i] : offsets[i + 1]].sum(axis=0)
+        np.testing.assert_allclose(got[i], ref)
+
+
+class TestExpandPooled:
+    def test_expand(self):
+        pooled = np.array([[24.0], [21.0]])
+        out = expand_pooled(pooled, np.array([0, 0, 1]))
+        np.testing.assert_allclose(out, [[24.0], [24.0], [21.0]])
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            expand_pooled(np.zeros((1, 2)), np.array([1]))
+
+    def test_empty_lookup(self):
+        out = expand_pooled(np.zeros((2, 3)), np.array([], dtype=np.int64))
+        assert out.shape == (0, 3)
+
+
+class TestJaggedElementwiseSum:
+    def test_paper_example(self):
+        # §5: element-wise sum across grouped features c and d is the
+        # motivating compute; here same-structure tensors sum values.
+        x = JaggedTensor.from_lists([[1, 2], [3]])
+        y = JaggedTensor.from_lists([[10, 20], [30]])
+        out = jagged_elementwise_sum([x, y])
+        assert out.to_lists() == [[11, 22], [33]]
+
+    def test_structure_mismatch_raises(self):
+        x = JaggedTensor.from_lists([[1, 2]])
+        y = JaggedTensor.from_lists([[1], [2]])
+        with pytest.raises(ValueError):
+            jagged_elementwise_sum([x, y])
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            jagged_elementwise_sum([])
+
+    def test_single_tensor(self):
+        x = JaggedTensor.from_lists([[5]])
+        assert jagged_elementwise_sum([x]).to_lists() == [[5]]

@@ -1,0 +1,120 @@
+"""Tests for partial IKJTs (§7) — shift-aware deduplication."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    JaggedTensor,
+    KeyedJaggedTensor,
+    PartialJaggedTensor,
+    PartialKeyedJaggedTensor,
+)
+
+
+class TestPaperExample:
+    def test_figure5_feature_b_partial(self):
+        """§7: b = [3,4,5]/[4,5,6]/[3,4,5] -> values [3,4,5,6] and
+        inverse_lookup [[0,3],[1,3],[0,3]]."""
+        jt = JaggedTensor.from_lists([[3, 4, 5], [4, 5, 6], [3, 4, 5]])
+        pt = PartialJaggedTensor.from_jagged(jt)
+        np.testing.assert_array_equal(pt.values, [3, 4, 5, 6])
+        np.testing.assert_array_equal(
+            pt.inverse_lookup, [[0, 3], [1, 3], [0, 3]]
+        )
+
+    def test_partial_beats_exact_on_shifts(self):
+        jt = JaggedTensor.from_lists([[3, 4, 5], [4, 5, 6], [3, 4, 5]])
+        pt = PartialJaggedTensor.from_jagged(jt)
+        # exact dedup stores 6 values (two distinct lists); partial stores 4
+        assert pt.total_values == 4
+        assert pt.dedupe_factor() == pytest.approx(9 / 4)
+
+
+class TestRoundTrip:
+    def test_lossless(self):
+        rows = [[1, 2, 3], [2, 3, 4], [9], [], [1, 2, 3], [3, 4]]
+        jt = JaggedTensor.from_lists(rows)
+        pt = PartialJaggedTensor.from_jagged(jt)
+        assert pt.to_jagged().to_lists() == rows
+
+    def test_empty_batch(self):
+        pt = PartialJaggedTensor.from_jagged(JaggedTensor.from_lists([]))
+        assert pt.batch_size == 0
+        assert pt.total_values == 0
+        assert pt.dedupe_factor() == 1.0
+
+    def test_all_empty_rows(self):
+        pt = PartialJaggedTensor.from_jagged(JaggedTensor.empty(3))
+        assert pt.to_jagged().to_lists() == [[], [], []]
+
+    def test_window_subsumption(self):
+        # A row that is an interior window of a stored row adds no values.
+        jt = JaggedTensor.from_lists([[1, 2, 3, 4], [2, 3]])
+        pt = PartialJaggedTensor.from_jagged(jt)
+        assert pt.total_values == 4
+        assert pt.to_jagged().to_lists() == [[1, 2, 3, 4], [2, 3]]
+
+
+class TestValidation:
+    def test_bad_lookup_shape(self):
+        with pytest.raises(ValueError):
+            PartialJaggedTensor(np.arange(3), np.array([0, 3]))
+
+    def test_out_of_bounds_window(self):
+        with pytest.raises(ValueError):
+            PartialJaggedTensor(np.arange(3), np.array([[1, 3]]))
+
+    def test_nbytes(self):
+        jt = JaggedTensor.from_lists([[1, 2]])
+        pt = PartialJaggedTensor.from_jagged(jt)
+        assert pt.nbytes == pt.values.nbytes + pt.inverse_lookup.nbytes
+
+
+class TestKeyed:
+    def test_from_kjt_round_trip(self):
+        rows = [
+            {"a": [1, 2], "b": [3, 4, 5]},
+            {"a": [2, 3], "b": [4, 5, 6]},
+        ]
+        kjt = KeyedJaggedTensor.from_rows(rows)
+        pkjt = PartialKeyedJaggedTensor.from_kjt(kjt)
+        assert pkjt.to_kjt() == kjt
+        assert pkjt.keys == ["a", "b"]
+        assert pkjt.batch_size == 2
+        assert pkjt.dedupe_factor() > 1.0
+
+    def test_getitem(self):
+        kjt = KeyedJaggedTensor.from_rows([{"a": [1]}])
+        pkjt = PartialKeyedJaggedTensor.from_kjt(kjt)
+        assert isinstance(pkjt["a"], PartialJaggedTensor)
+        assert pkjt.total_values == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PartialKeyedJaggedTensor({})
+
+    def test_mismatched_batch_rejected(self):
+        a = PartialJaggedTensor.from_jagged(JaggedTensor.from_lists([[1]]))
+        b = PartialJaggedTensor.from_jagged(
+            JaggedTensor.from_lists([[1], [2]])
+        )
+        with pytest.raises(ValueError):
+            PartialKeyedJaggedTensor({"a": a, "b": b})
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=5), max_size=5),
+        max_size=12,
+    )
+)
+def test_property_partial_round_trip(rows):
+    """Partial dedup is lossless for arbitrary batches."""
+    jt = JaggedTensor.from_lists(rows)
+    pt = PartialJaggedTensor.from_jagged(jt)
+    assert pt.to_jagged().to_lists() == rows
+    # and never stores more values than the original
+    assert pt.total_values <= jt.total_values

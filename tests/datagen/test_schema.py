@@ -1,0 +1,82 @@
+"""Tests for feature/schema specifications."""
+
+import pytest
+
+from repro.datagen import (
+    DatasetSchema,
+    DenseFeatureSpec,
+    FeatureKind,
+    PoolingKind,
+    SparseFeatureSpec,
+)
+
+
+class TestSparseFeatureSpec:
+    def test_d_is_complement_of_change_prob(self):
+        f = SparseFeatureSpec("f", change_prob=0.1)
+        assert f.d == pytest.approx(0.9)
+
+    def test_invalid_change_prob(self):
+        with pytest.raises(ValueError):
+            SparseFeatureSpec("f", change_prob=1.5)
+        with pytest.raises(ValueError):
+            SparseFeatureSpec("f", change_prob=-0.1)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            SparseFeatureSpec("f", avg_length=-1)
+
+    def test_invalid_cardinality(self):
+        with pytest.raises(ValueError):
+            SparseFeatureSpec("f", cardinality=0)
+
+    def test_is_sequence(self):
+        assert SparseFeatureSpec("f", pooling=PoolingKind.ATTENTION).is_sequence
+        assert SparseFeatureSpec(
+            "f", pooling=PoolingKind.TRANSFORMER
+        ).is_sequence
+        assert not SparseFeatureSpec("f", pooling=PoolingKind.SUM).is_sequence
+
+
+class TestDatasetSchema:
+    def make(self):
+        return DatasetSchema(
+            sparse=(
+                SparseFeatureSpec("u1", kind=FeatureKind.USER, group="g"),
+                SparseFeatureSpec("u2", kind=FeatureKind.USER, group="g"),
+                SparseFeatureSpec("i1", kind=FeatureKind.ITEM),
+            ),
+            dense=(DenseFeatureSpec("d1"),),
+        )
+
+    def test_names(self):
+        s = self.make()
+        assert s.sparse_names == ["u1", "u2", "i1"]
+        assert s.dense_names == ["d1"]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSchema(
+                sparse=(SparseFeatureSpec("x"), SparseFeatureSpec("x"))
+            )
+
+    def test_duplicate_across_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSchema(
+                sparse=(SparseFeatureSpec("x"),),
+                dense=(DenseFeatureSpec("x"),),
+            )
+
+    def test_groups(self):
+        assert self.make().groups() == {"g": ["u1", "u2"]}
+
+    def test_kind_partition(self):
+        s = self.make()
+        assert [f.name for f in s.user_features()] == ["u1", "u2"]
+        assert [f.name for f in s.item_features()] == ["i1"]
+
+    def test_sparse_spec_lookup(self):
+        s = self.make()
+        assert s.sparse_spec("u1").group == "g"
+        with pytest.raises(KeyError):
+            s.sparse_spec("missing")

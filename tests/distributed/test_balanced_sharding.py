@@ -1,0 +1,54 @@
+"""Tests for the size-balanced sharding planner."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import plan_sharding_balanced
+
+
+class TestBalancedSharding:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_sharding_balanced({}, 2)
+        with pytest.raises(ValueError):
+            plan_sharding_balanced({"a": 1}, 0)
+        with pytest.raises(ValueError):
+            plan_sharding_balanced({"a": -1}, 2)
+
+    def test_every_feature_assigned(self):
+        plan = plan_sharding_balanced({"a": 10, "b": 5, "c": 1}, 2)
+        assert set(plan.owner) == {"a", "b", "c"}
+        assert all(0 <= g < 2 for g in plan.owner.values())
+
+    def test_skewed_tables_balanced(self):
+        """One huge table + many small ones: the huge one gets a GPU
+        largely to itself."""
+        sizes = {"huge": 100, **{f"s{i}": 10 for i in range(10)}}
+        plan = plan_sharding_balanced(sizes, 2)
+        loads = [0, 0]
+        for name, gpu in plan.owner.items():
+            loads[gpu] += sizes[name]
+        assert abs(loads[0] - loads[1]) <= 10  # within one small table
+
+    def test_beats_round_robin_on_skew(self):
+        rng = np.random.default_rng(0)
+        sizes = {f"f{i}": int(v) for i, v in enumerate(
+            rng.pareto(1.5, size=40) * 100 + 1
+        )}
+        n = 8
+        balanced = plan_sharding_balanced(sizes, n)
+
+        def imbalance(owner):
+            loads = [0] * n
+            for name, gpu in owner.items():
+                loads[gpu] += sizes[name]
+            return max(loads) - min(loads)
+
+        round_robin = {name: i % n for i, name in enumerate(sizes)}
+        assert imbalance(balanced.owner) <= imbalance(round_robin)
+
+    def test_deterministic(self):
+        sizes = {"a": 5, "b": 5, "c": 3}
+        p1 = plan_sharding_balanced(sizes, 2)
+        p2 = plan_sharding_balanced(sizes, 2)
+        assert p1.owner == p2.owner

@@ -1,0 +1,196 @@
+"""Tests for the ETL substrate: join, clustering (O2), downsampling (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    DatasetSchema,
+    SparseFeatureSpec,
+    TraceConfig,
+    generate_partition,
+)
+from repro.etl import (
+    ETLConfig,
+    ETLJob,
+    cluster_by_session,
+    downsample_per_sample,
+    downsample_per_session,
+    is_clustered,
+    join_logs,
+    samples_per_session,
+)
+from repro.scribe import (
+    EventLogRecord,
+    FeatureLogRecord,
+    ScribeCluster,
+    ShardKeyPolicy,
+    split_sample,
+)
+
+
+def _schema():
+    return DatasetSchema(sparse=(SparseFeatureSpec("f", avg_length=4),))
+
+
+def _trace(n=60, seed=0):
+    return generate_partition(_schema(), n, TraceConfig(seed=seed))
+
+
+class TestJoin:
+    def test_join_matches_ground_truth(self):
+        samples = _trace(20)
+        feats, evs = zip(*(split_sample(s) for s in samples))
+        joined = join_logs(feats, evs)
+        assert len(joined) == len(samples)
+        for a, b in zip(joined, samples):
+            assert a.sample_id == b.sample_id
+            assert a.label == b.label
+            np.testing.assert_array_equal(a.sparse["f"], b.sparse["f"])
+
+    def test_unmatched_features_dropped(self):
+        samples = _trace(10)
+        feats, evs = zip(*(split_sample(s) for s in samples))
+        joined = join_logs(feats, evs[:5])
+        matched_ids = {e.request_id for e in evs[:5]}
+        assert {s.sample_id for s in joined} == matched_ids
+
+    def test_unmatched_events_ignored(self):
+        samples = _trace(10)
+        feats, evs = zip(*(split_sample(s) for s in samples))
+        joined = join_logs(feats[:3], evs)
+        assert len(joined) == 3
+
+    def test_preserves_feature_order(self):
+        samples = _trace(30)
+        feats, evs = zip(*(split_sample(s) for s in samples))
+        joined = join_logs(feats, evs)
+        assert [s.sample_id for s in joined] == [s.sample_id for s in samples]
+
+
+class TestCluster:
+    def test_clustering_makes_clustered(self):
+        samples = _trace(100)
+        assert not is_clustered(samples)  # interleaved by construction
+        clustered = cluster_by_session(samples)
+        assert is_clustered(clustered)
+
+    def test_clustering_preserves_rows(self):
+        samples = _trace(50)
+        clustered = cluster_by_session(samples)
+        assert sorted(s.sample_id for s in clustered) == sorted(
+            s.sample_id for s in samples
+        )
+
+    def test_within_session_timestamp_order(self):
+        clustered = cluster_by_session(_trace(50))
+        prev_sid, prev_ts = None, None
+        for s in clustered:
+            if s.session_id == prev_sid:
+                assert s.timestamp >= prev_ts
+            prev_sid, prev_ts = s.session_id, s.timestamp
+
+    def test_sessions_ordered_by_first_timestamp(self):
+        clustered = cluster_by_session(_trace(50))
+        firsts = []
+        seen = set()
+        for s in clustered:
+            if s.session_id not in seen:
+                seen.add(s.session_id)
+                firsts.append(s.timestamp)
+        assert firsts == sorted(firsts)
+
+    def test_is_clustered_detects_split_runs(self):
+        samples = _trace(30)
+        clustered = cluster_by_session(samples)
+        broken = clustered[1:] + clustered[:1]  # splits the first session
+        assert not is_clustered(broken)
+
+    def test_empty(self):
+        assert cluster_by_session([]) == []
+        assert is_clustered([])
+
+
+class TestDownsample:
+    def test_rates_comparable_but_s_differs(self):
+        """§7: per-session downsampling keeps S high; per-sample collapses
+        it — at similar retained volume."""
+        samples = _trace(300, seed=5)
+        per_sample = downsample_per_sample(samples, 0.25, seed=1)
+        per_session = downsample_per_session(samples, 0.25, seed=1)
+        # similar volume (within 2x)
+        assert 0.5 < len(per_sample) / max(len(per_session), 1) < 2.0
+        assert samples_per_session(per_session) > samples_per_session(
+            per_sample
+        ) * 2
+
+    def test_keep_all(self):
+        samples = _trace(10)
+        assert downsample_per_sample(samples, 1.0) == samples
+        assert len(downsample_per_session(samples, 1.0)) == len(samples)
+
+    def test_keep_none(self):
+        samples = _trace(10)
+        assert downsample_per_sample(samples, 0.0) == []
+        assert downsample_per_session(samples, 0.0) == []
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            downsample_per_sample([], 1.5)
+        with pytest.raises(ValueError):
+            downsample_per_session([], -0.1)
+
+    def test_samples_per_session_empty(self):
+        assert samples_per_session([]) == 0.0
+
+
+class TestETLJob:
+    def _scribe(self, samples):
+        cluster = ScribeCluster(num_shards=4, policy=ShardKeyPolicy.SESSION_ID)
+        for s in samples:
+            feat, ev = split_sample(s)
+            cluster.log_features(feat)
+            cluster.log_event(ev)
+        cluster.flush()
+        return cluster
+
+    def test_end_to_end_baseline(self):
+        samples = _trace(40, seed=7)
+        result = ETLJob(ETLConfig()).run_from_scribe(self._scribe(samples))
+        assert result.joined_rows == len(samples)
+        assert result.dropped_rows == 0
+        assert result.ingest_bytes > 0
+        # baseline keeps inference-time order
+        ids = [s.sample_id for s in result.samples]
+        assert ids == [s.sample_id for s in samples]
+
+    def test_end_to_end_clustered(self):
+        samples = _trace(40, seed=8)
+        result = ETLJob(ETLConfig(cluster=True)).run_from_scribe(
+            self._scribe(samples)
+        )
+        assert is_clustered(result.samples)
+        assert len(result.samples) == len(samples)
+
+    def test_downsampling_session_mode(self):
+        samples = _trace(100, seed=9)
+        result = ETLJob(
+            ETLConfig(keep_rate=0.5, downsample_by="session")
+        ).run_from_records(*zip(*(split_sample(s) for s in samples)))
+        assert result.dropped_rows == len(samples) - len(result.samples)
+        assert 0 < len(result.samples) < len(samples)
+
+    def test_unknown_downsample_mode(self):
+        samples = _trace(5)
+        with pytest.raises(ValueError):
+            ETLJob(
+                ETLConfig(keep_rate=0.5, downsample_by="bogus")
+            ).run_from_records(*zip(*(split_sample(s) for s in samples)))
+
+    def test_round_trip_feature_values(self):
+        samples = _trace(20, seed=10)
+        result = ETLJob(ETLConfig()).run_from_scribe(self._scribe(samples))
+        by_id = {s.sample_id: s for s in samples}
+        for got in result.samples:
+            np.testing.assert_array_equal(
+                got.sparse["f"], by_id[got.sample_id].sparse["f"]
+            )

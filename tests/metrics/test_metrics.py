@@ -1,0 +1,99 @@
+"""Tests for counters, memory tracking, and breakdowns."""
+
+import pytest
+
+from repro.metrics import (
+    Counters,
+    IterationBreakdown,
+    MemoryTracker,
+    ReaderCpuBreakdown,
+)
+
+
+class TestCounters:
+    def test_add_get(self):
+        c = Counters()
+        c.add("flops", 10)
+        c.add("flops", 5)
+        assert c["flops"] == 15
+        assert c.get("missing") == 0.0
+
+    def test_merge(self):
+        a, b = Counters(), Counters()
+        a.add("x", 1)
+        b.add("x", 2)
+        b.add("y", 3)
+        a.merge(b)
+        assert a["x"] == 3 and a["y"] == 3
+
+    def test_reset_and_as_dict(self):
+        c = Counters()
+        c.add("x", 1)
+        assert c.as_dict() == {"x": 1}
+        c.reset()
+        assert c.as_dict() == {}
+
+
+class TestMemoryTracker:
+    def test_alloc_free_peak(self):
+        m = MemoryTracker(capacity_bytes=100)
+        m.alloc(60)
+        m.alloc(20)
+        m.free(50)
+        assert m.current_bytes == 30
+        assert m.peak_bytes == 80
+        assert m.peak_utilization == pytest.approx(0.8)
+        assert m.utilization == pytest.approx(0.3)
+
+    def test_capacity_enforced(self):
+        m = MemoryTracker(capacity_bytes=10)
+        with pytest.raises(MemoryError):
+            m.alloc(11)
+
+    def test_unbounded(self):
+        m = MemoryTracker()
+        m.alloc(10**12)
+        assert m.utilization == 0.0
+
+    def test_invalid_ops(self):
+        m = MemoryTracker(100)
+        with pytest.raises(ValueError):
+            m.alloc(-1)
+        with pytest.raises(ValueError):
+            m.free(-1)
+        with pytest.raises(ValueError):
+            m.free(1)
+        with pytest.raises(ValueError):
+            MemoryTracker(0)
+
+    def test_reset_peak(self):
+        m = MemoryTracker(100)
+        m.alloc(50)
+        m.free(50)
+        m.reset_peak()
+        assert m.peak_bytes == 0
+
+
+class TestBreakdowns:
+    def test_reader_breakdown_normalization(self):
+        base = ReaderCpuBreakdown(fill=6.0, convert=1.0, process=3.0)
+        recd = ReaderCpuBreakdown(fill=3.0, convert=1.2, process=2.6)
+        norm = recd.normalized_to(base)
+        assert norm["total"] == pytest.approx(6.8 / 10.0)
+        assert norm["fill"] == pytest.approx(0.3)
+
+    def test_reader_breakdown_merge(self):
+        a = ReaderCpuBreakdown(1, 2, 3)
+        a.merge(ReaderCpuBreakdown(1, 1, 1))
+        assert a.total == 9
+
+    def test_iteration_breakdown(self):
+        base = IterationBreakdown(emb_lookup=1, gemm=4, a2a=4, other=1)
+        recd = IterationBreakdown(emb_lookup=0.8, gemm=3.5, a2a=2, other=1)
+        norm = recd.normalized_to(base)
+        assert norm["a2a"] == pytest.approx(0.2)
+        assert norm["total"] == pytest.approx(7.3 / 10)
+
+    def test_zero_baseline_safe(self):
+        norm = ReaderCpuBreakdown().normalized_to(ReaderCpuBreakdown())
+        assert norm["total"] == 0.0

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "pipeline" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig7"])
+        assert args.scale == 0.5
+        assert args.sessions == 200
+
+
+class TestSmallRuns:
+    def test_dedupe_model(self, capsys):
+        assert main(["dedupe-model"]) == 0
+        assert "modeled" in capsys.readouterr().out
+
+    def test_partial(self, capsys):
+        assert main(["partial", "--sessions", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "partial factor" in out
+
+    def test_scribe(self, capsys):
+        assert main(
+            ["scribe", "--scale", "0.1", "--sessions", "60"]
+        ) == 0
+        assert "session" in capsys.readouterr().out
+
+    def test_pipeline_baseline(self, capsys):
+        assert main(
+            ["pipeline", "--rm", "RM2", "--scale", "0.1", "--sessions", "80"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "trainer throughput" in out
+
+    def test_pipeline_recd(self, capsys):
+        assert main(
+            [
+                "pipeline",
+                "--rm",
+                "RM2",
+                "--recd",
+                "--scale",
+                "0.1",
+                "--sessions",
+                "80",
+            ]
+        ) == 0
+        assert "RecD" in capsys.readouterr().out
+
+    def test_fig3_small(self, capsys):
+        assert main(["fig3", "--sessions-large", "5000"]) == 0
+        assert "partition mean" in capsys.readouterr().out

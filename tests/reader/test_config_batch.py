@@ -1,0 +1,121 @@
+"""Tests for DataLoaderConfig and Batch."""
+
+import numpy as np
+import pytest
+
+from repro.core import InverseKeyedJaggedTensor, KeyedJaggedTensor
+from repro.reader import Batch, DataLoaderConfig
+
+
+class TestDataLoaderConfig:
+    def test_basic(self):
+        cfg = DataLoaderConfig(
+            batch_size=64,
+            sparse_features=("a",),
+            dedup_sparse_features=(("b",), ("c", "d")),
+        )
+        assert cfg.dedup_feature_names == ["b", "c", "d"]
+        assert cfg.all_sparse_names == ["a", "b", "c", "d"]
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            DataLoaderConfig(batch_size=0)
+
+    def test_feature_in_two_groups_rejected(self):
+        with pytest.raises(ValueError):
+            DataLoaderConfig(
+                batch_size=1, dedup_sparse_features=(("a",), ("a", "b"))
+            )
+
+    def test_feature_both_plain_and_dedup_rejected(self):
+        with pytest.raises(ValueError):
+            DataLoaderConfig(
+                batch_size=1,
+                sparse_features=("a",),
+                dedup_sparse_features=(("a",),),
+            )
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ValueError):
+            DataLoaderConfig(batch_size=1, dedup_sparse_features=((),))
+
+    def test_without_dedup(self):
+        cfg = DataLoaderConfig(
+            batch_size=8,
+            sparse_features=("a",),
+            dedup_sparse_features=(("b", "c"),),
+            transforms=("hash_modulo",),
+        )
+        base = cfg.without_dedup()
+        assert base.dedup_sparse_features == ()
+        assert set(base.sparse_features) == {"a", "b", "c"}
+        assert base.transforms == cfg.transforms
+
+
+def _kjt():
+    return KeyedJaggedTensor.from_rows(
+        [{"a": [1, 2], "b": [5]}, {"a": [1, 2], "b": [6]}]
+    )
+
+
+class TestBatch:
+    def test_batch_size_consistency(self):
+        kjt = _kjt()
+        batch = Batch(
+            dense=np.zeros((2, 3), dtype=np.float32),
+            labels=np.zeros(2, dtype=np.float32),
+            kjt=kjt,
+        )
+        assert batch.batch_size == 2
+        assert batch.sparse_keys == ["a", "b"]
+
+    def test_inconsistent_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            Batch(
+                dense=np.zeros((3, 1), dtype=np.float32),
+                labels=np.zeros(2, dtype=np.float32),
+            )
+
+    def test_wire_bytes_includes_all_slices(self):
+        kjt = _kjt()
+        ikjt = InverseKeyedJaggedTensor.from_kjt(kjt, ["a"])
+        batch = Batch(
+            dense=np.zeros((2, 1), dtype=np.float32),
+            labels=np.zeros(2, dtype=np.float32),
+            kjt=kjt.select(["b"]),
+            ikjts=[ikjt],
+        )
+        expected = (
+            batch.dense.nbytes
+            + batch.labels.nbytes
+            + kjt.select(["b"]).nbytes
+            + ikjt.nbytes
+        )
+        assert batch.wire_nbytes == expected
+
+    def test_dedup_batch_smaller_on_wire(self):
+        """A batch with duplicated rows ships fewer bytes as IKJT."""
+        rows = [{"f": list(range(50))} for _ in range(16)]  # all identical
+        kjt = KeyedJaggedTensor.from_rows(rows)
+        dense = np.zeros((16, 1), dtype=np.float32)
+        labels = np.zeros(16, dtype=np.float32)
+        plain = Batch(dense=dense, labels=labels, kjt=kjt)
+        dedup = Batch(
+            dense=dense,
+            labels=labels,
+            ikjts=[InverseKeyedJaggedTensor.from_kjt(kjt)],
+        )
+        assert dedup.wire_nbytes < plain.wire_nbytes / 4
+
+    def test_to_kjt_only_round_trip(self):
+        kjt = _kjt()
+        batch = Batch(
+            dense=np.zeros((2, 1), dtype=np.float32),
+            labels=np.zeros(2, dtype=np.float32),
+            kjt=kjt.select(["b"]),
+            ikjts=[InverseKeyedJaggedTensor.from_kjt(kjt, ["a"])],
+        )
+        expanded = batch.to_kjt_only()
+        assert expanded.ikjts == []
+        assert expanded.kjt["a"] == kjt["a"]
+        assert expanded.kjt["b"] == kjt["b"]

@@ -1,0 +1,85 @@
+"""Tests for the ReaderTier fleet."""
+
+import pytest
+
+from repro.datagen import (
+    DatasetSchema,
+    SparseFeatureSpec,
+    TraceConfig,
+    generate_partition,
+)
+from repro.reader import DataLoaderConfig, ReaderNode, ReaderTier
+from repro.storage import HiveTable, TectonicFS
+
+
+def _schema():
+    return DatasetSchema(
+        sparse=(SparseFeatureSpec("f", avg_length=6, change_prob=0.1),)
+    )
+
+
+def _table(seed=0):
+    samples = generate_partition(_schema(), 40, TraceConfig(seed=seed))
+    fs = TectonicFS()
+    table = HiveTable("t", _schema(), fs, rows_per_file=128, stripe_rows=32)
+    table.land_partition("p", samples)
+    return table, samples
+
+
+def _cfg():
+    return DataLoaderConfig(batch_size=32, sparse_features=("f",))
+
+
+class TestReaderTier:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReaderTier(0, _cfg())
+
+    def test_covers_all_files(self):
+        table, samples = _table()
+        tier = ReaderTier(3, _cfg())
+        batches = tier.run(table.open_readers("p"))
+        # each file yields floor(rows/32) full batches per node
+        assert tier.report.batches == len(batches)
+        assert tier.report.samples == 32 * len(batches)
+        assert tier.report.samples > 0
+
+    def test_more_readers_than_files(self):
+        table, _ = _table(seed=1)
+        files = table.open_readers("p")
+        tier = ReaderTier(len(files) + 5, _cfg())
+        batches = tier.run(files)
+        assert len(batches) > 0
+
+    def test_aggregate_equals_sum_of_nodes(self):
+        table, _ = _table(seed=2)
+        tier = ReaderTier(2, _cfg())
+        tier.run(table.open_readers("p"))
+        assert tier.report.cpu.total == pytest.approx(
+            sum(n.report.cpu.total for n in tier.nodes)
+        )
+        assert tier.report.read_bytes == sum(
+            n.report.read_bytes for n in tier.nodes
+        )
+
+    def test_wall_clock_is_slowest_node(self):
+        table, _ = _table(seed=3)
+        tier = ReaderTier(2, _cfg())
+        tier.run(table.open_readers("p"))
+        assert tier.wall_clock_seconds == pytest.approx(
+            max(n.report.cpu.total for n in tier.nodes)
+        )
+
+    def test_scaling_out_cuts_wall_clock(self):
+        """The deployed system's premise: more readers, less latency."""
+        table, _ = _table(seed=4)
+        one = ReaderTier(1, _cfg())
+        one.run(table.open_readers("p"))
+        many = ReaderTier(4, _cfg())
+        many.run(table.open_readers("p"))
+        assert many.wall_clock_seconds < one.wall_clock_seconds
+
+    def test_empty_tier_wall_clock(self):
+        tier = ReaderTier(2, _cfg())
+        assert tier.wall_clock_seconds >= 0.0
+        assert tier.run([]) == []

@@ -1,0 +1,109 @@
+"""Serialization round-trip tests for log records."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datagen.session import Sample
+from repro.scribe import EventLogRecord, FeatureLogRecord, split_sample
+
+
+def make_feature_record():
+    return FeatureLogRecord(
+        request_id=42,
+        session_id=7,
+        timestamp=123.5,
+        sparse={
+            "hist": np.array([1, 2, 3], dtype=np.int64),
+            "empty": np.array([], dtype=np.int64),
+        },
+        dense={"hour": 0.25},
+    )
+
+
+class TestFeatureLogRecord:
+    def test_round_trip(self):
+        rec = make_feature_record()
+        got = FeatureLogRecord.deserialize(rec.serialize())
+        assert got.request_id == 42
+        assert got.session_id == 7
+        assert got.timestamp == 123.5
+        np.testing.assert_array_equal(got.sparse["hist"], [1, 2, 3])
+        assert got.sparse["empty"].size == 0
+        assert got.dense == {"hour": 0.25}
+
+    def test_no_features(self):
+        rec = FeatureLogRecord(1, 2, 3.0, {}, {})
+        got = FeatureLogRecord.deserialize(rec.serialize())
+        assert got.sparse == {}
+        assert got.dense == {}
+
+    def test_deserialized_arrays_are_owned(self):
+        """Deserialization must copy out of the buffer (writable arrays)."""
+        rec = make_feature_record()
+        got = FeatureLogRecord.deserialize(rec.serialize())
+        got.sparse["hist"][0] = 99  # must not raise
+
+    def test_negative_ids(self):
+        rec = FeatureLogRecord(-5, -9, 0.0, {"f": np.array([-1], dtype=np.int64)}, {})
+        got = FeatureLogRecord.deserialize(rec.serialize())
+        assert got.request_id == -5
+        assert got.session_id == -9
+        np.testing.assert_array_equal(got.sparse["f"], [-1])
+
+
+class TestEventLogRecord:
+    def test_round_trip(self):
+        ev = EventLogRecord(request_id=1, session_id=2, timestamp=9.5, label=1)
+        got = EventLogRecord.deserialize(ev.serialize())
+        assert got == ev
+
+    def test_fixed_size(self):
+        ev = EventLogRecord(1, 2, 3.0, 0)
+        assert len(ev.serialize()) == EventLogRecord._FMT.size
+
+
+class TestSplitSample:
+    def test_split_preserves_everything(self):
+        s = Sample(
+            sample_id=10,
+            session_id=3,
+            timestamp=5.0,
+            label=1,
+            sparse={"f": np.array([4, 5], dtype=np.int64)},
+            dense={"d": 0.5},
+        )
+        feat, ev = split_sample(s)
+        assert feat.request_id == ev.request_id == 10
+        assert feat.session_id == ev.session_id == 3
+        assert ev.label == 1
+        np.testing.assert_array_equal(feat.sparse["f"], [4, 5])
+
+
+@given(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.dictionaries(
+        st.text(
+            alphabet="abcdefgh_", min_size=1, max_size=8
+        ),
+        st.lists(st.integers(min_value=0, max_value=2**50), max_size=6),
+        max_size=4,
+    ),
+)
+def test_property_feature_record_round_trip(rid, sid, ts, sparse):
+    rec = FeatureLogRecord(
+        rid,
+        sid,
+        ts,
+        {k: np.array(v, dtype=np.int64) for k, v in sparse.items()},
+        {},
+    )
+    got = FeatureLogRecord.deserialize(rec.serialize())
+    assert got.request_id == rid and got.session_id == sid
+    assert got.timestamp == ts
+    assert set(got.sparse) == set(sparse)
+    for k, v in sparse.items():
+        np.testing.assert_array_equal(got.sparse[k], v)

@@ -1,0 +1,105 @@
+"""Tests for the RLE and dictionary encodings and encoding selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import (
+    IntEncoding,
+    best_encoding,
+    decode_int64,
+    encode_int64,
+)
+
+
+def _round_trip(values, encoding):
+    v = np.asarray(values, dtype=np.int64)
+    data = encode_int64(v, encoding)
+    out = decode_int64(data, v.size, encoding)
+    np.testing.assert_array_equal(out, v)
+    return data
+
+
+class TestRLE:
+    def test_round_trip_runs(self):
+        _round_trip([5, 5, 5, 7, 7, 5], IntEncoding.RLE)
+
+    def test_round_trip_no_runs(self):
+        _round_trip([1, 2, 3, 4], IntEncoding.RLE)
+
+    def test_empty(self):
+        data = _round_trip([], IntEncoding.RLE)
+        assert data == b""
+
+    def test_constant_column_is_tiny(self):
+        data = encode_int64(np.full(10_000, 48, dtype=np.int64), IntEncoding.RLE)
+        assert len(data) < 32
+
+    def test_negative_values(self):
+        _round_trip([-3, -3, -3, 9], IntEncoding.RLE)
+
+    def test_count_mismatch(self):
+        data = encode_int64(np.array([1, 1, 2], dtype=np.int64), IntEncoding.RLE)
+        with pytest.raises(ValueError):
+            decode_int64(data, 5, IntEncoding.RLE)
+
+    def test_empty_stream_nonempty_count(self):
+        with pytest.raises(ValueError):
+            decode_int64(b"", 3, IntEncoding.RLE)
+
+
+class TestDict:
+    def test_round_trip(self):
+        _round_trip([100, 200, 100, 100, 300], IntEncoding.DICT)
+
+    def test_empty(self):
+        _round_trip([], IntEncoding.DICT)
+
+    def test_low_cardinality_smaller_than_varint(self):
+        rng = np.random.default_rng(0)
+        values = rng.choice(
+            np.array([10**12, 2 * 10**12, 3 * 10**12]), size=5000
+        ).astype(np.int64)
+        d = encode_int64(values, IntEncoding.DICT)
+        v = encode_int64(values, IntEncoding.VARINT)
+        assert len(d) < len(v) / 2
+
+    def test_negative_values(self):
+        _round_trip([-5, -5, 0, 7, -5], IntEncoding.DICT)
+
+    def test_empty_stream_nonempty_count(self):
+        with pytest.raises(ValueError):
+            decode_int64(b"", 2, IntEncoding.DICT)
+
+
+class TestBestEncoding:
+    def test_runny_column_picks_rle(self):
+        assert best_encoding(np.full(100, 7)) is IntEncoding.RLE
+
+    def test_low_cardinality_picks_dict(self):
+        rng = np.random.default_rng(1)
+        values = rng.choice([1, 2, 3], size=1000)
+        assert best_encoding(values) is IntEncoding.DICT
+
+    def test_high_cardinality_picks_varint(self):
+        assert best_encoding(np.arange(1000) * 7919) is IntEncoding.VARINT
+
+    def test_empty_defaults_varint(self):
+        assert best_encoding(np.array([], dtype=np.int64)) is IntEncoding.VARINT
+
+
+@given(
+    st.lists(st.integers(min_value=-(2**50), max_value=2**50), max_size=60),
+    st.sampled_from([IntEncoding.RLE, IntEncoding.DICT]),
+)
+def test_property_round_trip(values, encoding):
+    _round_trip(values, encoding)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=5), max_size=100))
+def test_property_best_encoding_round_trips(values):
+    v = np.asarray(values, dtype=np.int64)
+    enc = best_encoding(v)
+    data = encode_int64(v, enc)
+    np.testing.assert_array_equal(decode_int64(data, v.size, enc), v)

@@ -1,0 +1,135 @@
+"""Tests for the Tectonic FS stand-in and Hive partitioned tables."""
+
+import pytest
+
+from repro.datagen import (
+    DatasetSchema,
+    SparseFeatureSpec,
+    TraceConfig,
+    generate_partition,
+)
+from repro.etl import cluster_by_session
+from repro.storage import HiveTable, TectonicFS
+
+
+def _schema():
+    return DatasetSchema(
+        sparse=(SparseFeatureSpec("hist", avg_length=10, change_prob=0.1),)
+    )
+
+
+def _trace(n=50, seed=0):
+    return generate_partition(_schema(), n, TraceConfig(seed=seed))
+
+
+class TestTectonicFS:
+    def test_write_read(self):
+        fs = TectonicFS()
+        fs.write("a/b", b"hello")
+        assert fs.read("a/b") == b"hello"
+        assert fs.stats.bytes_written == 5
+        assert fs.stats.bytes_read == 5
+        assert fs.stats.read_ops == 1
+
+    def test_ranged_read(self):
+        fs = TectonicFS()
+        fs.write("f", b"0123456789")
+        assert fs.read("f", offset=2, length=3) == b"234"
+        assert fs.stats.bytes_read == 3
+
+    def test_immutability(self):
+        fs = TectonicFS()
+        fs.write("f", b"x")
+        with pytest.raises(FileExistsError):
+            fs.write("f", b"y")
+
+    def test_missing_file(self):
+        fs = TectonicFS()
+        with pytest.raises(FileNotFoundError):
+            fs.read("nope")
+        with pytest.raises(FileNotFoundError):
+            fs.size("nope")
+        with pytest.raises(FileNotFoundError):
+            fs.delete("nope")
+
+    def test_bad_offset(self):
+        fs = TectonicFS()
+        fs.write("f", b"ab")
+        with pytest.raises(ValueError):
+            fs.read("f", offset=5)
+
+    def test_delete_and_listdir(self):
+        fs = TectonicFS()
+        fs.write("t/p1/f0", b"a")
+        fs.write("t/p1/f1", b"b")
+        fs.write("t/p2/f0", b"c")
+        assert fs.listdir("t/p1/") == ["t/p1/f0", "t/p1/f1"]
+        fs.delete("t/p1/f0")
+        assert fs.listdir("t/p1/") == ["t/p1/f1"]
+        assert fs.total_stored_bytes == 2
+
+
+class TestHiveTable:
+    def _table(self, fs=None):
+        return HiveTable(
+            "dlrm_table",
+            _schema(),
+            fs or TectonicFS(),
+            rows_per_file=32,
+            stripe_rows=16,
+        )
+
+    def test_land_and_read_partition(self):
+        table = self._table()
+        samples = _trace(20, seed=1)[:70]
+        info = table.land_partition("2026061200", samples)
+        assert info.num_rows == 70
+        assert len(info.files) == 3  # ceil(70/32)
+        got = table.read_partition("2026061200")
+        assert [s.sample_id for s in got] == [s.sample_id for s in samples]
+
+    def test_duplicate_partition_rejected(self):
+        table = self._table()
+        table.land_partition("p", _trace(5))
+        with pytest.raises(ValueError):
+            table.land_partition("p", _trace(5, seed=2))
+
+    def test_drop_partition_retention(self):
+        fs = TectonicFS()
+        table = self._table(fs)
+        table.land_partition("p", _trace(40, seed=3))
+        stored = fs.total_stored_bytes
+        assert stored > 0
+        table.drop_partition("p")
+        assert fs.total_stored_bytes == 0
+        with pytest.raises(KeyError):
+            table.drop_partition("p")
+
+    def test_partition_stored_bytes(self):
+        fs = TectonicFS()
+        table = self._table(fs)
+        table.land_partition("p", _trace(40, seed=4))
+        assert table.partition_stored_bytes("p") == fs.total_stored_bytes
+
+    def test_clustered_partition_smaller(self):
+        """Landing the same rows clustered must store fewer bytes (O2)."""
+        fs = TectonicFS()
+        table = HiveTable(
+            "t", _schema(), fs, rows_per_file=4096, stripe_rows=512
+        )
+        samples = _trace(200, seed=5)
+        base = table.land_partition("base", samples)
+        clustered = table.land_partition(
+            "clustered", cluster_by_session(samples)
+        )
+        assert clustered.compression_ratio > base.compression_ratio
+        assert table.partition_stored_bytes(
+            "clustered"
+        ) < table.partition_stored_bytes("base")
+
+    def test_open_readers_per_file(self):
+        table = self._table()
+        table.land_partition("p", _trace(20, seed=6)[:70])
+        readers = table.open_readers("p")
+        assert len(readers) == 3
+        assert sum(len(r.read_all()) for r in readers) == 70

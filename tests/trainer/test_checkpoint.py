@@ -1,0 +1,133 @@
+"""Tests for model checkpointing and the Model Store."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import rm2
+from repro.storage import TectonicFS
+from repro.trainer import DLRM, DLRMConfig, TrainerOptFlags
+from repro.trainer.checkpoint import (
+    ModelStore,
+    load_model,
+    model_state,
+    save_model,
+)
+
+from .test_model import make_batches
+
+
+def _model(seed=1, optimizer="sgd"):
+    w = rm2(scale=0.1)
+    cfg = DLRMConfig(
+        embedding_dim=w.embedding_dim,
+        bottom_mlp=tuple(w.bottom_mlp) + (w.embedding_dim,),
+        top_mlp=tuple(w.top_mlp),
+        num_dense=len(w.schema.dense),
+        max_table_rows=200,
+        sparse_optimizer=optimizer,
+        seed=seed,
+    )
+    return DLRM(list(w.schema.sparse), cfg, TrainerOptFlags.baseline()), w
+
+
+class TestSerialization:
+    def test_round_trip_restores_weights(self):
+        model, w = _model()
+        (batch,) = make_batches(w, dedup=False, n_batches=1, seed=2)
+        model.train_step(batch)
+        blob = save_model(model)
+        fresh, _ = _model(seed=99)  # different init
+        load_model(fresh, blob)
+        for a, b in zip(
+            model.sparse_arch.tables(), fresh.sparse_arch.tables()
+        ):
+            np.testing.assert_array_equal(a.weight, b.weight)
+        for pa, pb in zip(model.dense_params(), fresh.dense_params()):
+            np.testing.assert_array_equal(pa.value, pb.value)
+
+    def test_resume_training_is_exact(self):
+        """A restored model continues the identical loss trajectory."""
+        model, w = _model(optimizer="rowwise_adagrad")
+        batches = make_batches(w, dedup=False, n_batches=4, seed=3)
+        model.train_step(batches[0])
+        blob = save_model(model)
+        later = [model.train_step(b) for b in batches[1:]]
+
+        restored, _ = _model(seed=77, optimizer="rowwise_adagrad")
+        load_model(restored, blob)
+        resumed = [restored.train_step(b) for b in batches[1:]]
+        np.testing.assert_allclose(later, resumed, rtol=1e-12)
+
+    def test_adagrad_state_included(self):
+        model, _ = _model(optimizer="rowwise_adagrad")
+        state = model_state(model)
+        assert any(k.startswith("adagrad/") for k in state)
+
+    def test_architecture_mismatch_rejected(self):
+        model, _ = _model()
+        blob = save_model(model)
+        other, _ = _model(optimizer="rowwise_adagrad")  # extra state keys
+        with pytest.raises(ValueError):
+            load_model(other, blob)
+
+    def test_corrupt_version_rejected(self):
+        import io
+
+        import numpy as np2
+
+        model, _ = _model()
+        state = model_state(model)
+        state["__format__"] = np2.array([999])
+        buf = io.BytesIO()
+        np2.savez_compressed(buf, **state)
+        with pytest.raises(ValueError):
+            load_model(model, buf.getvalue())
+
+
+class TestModelStore:
+    def test_versioning(self):
+        fs = TectonicFS()
+        store = ModelStore(fs)
+        model, _ = _model()
+        assert store.save("rm2", model) == 1
+        assert store.save("rm2", model) == 2
+        assert store.versions("rm2") == [1, 2]
+
+    def test_load_latest_and_specific(self):
+        fs = TectonicFS()
+        store = ModelStore(fs)
+        model, w = _model()
+        store.save("rm2", model)
+        (batch,) = make_batches(w, dedup=False, n_batches=1, seed=4)
+        model.train_step(batch)
+        store.save("rm2", model)
+
+        latest, _ = _model(seed=5)
+        assert store.load("rm2", latest) == 2
+        np.testing.assert_array_equal(
+            latest.sparse_arch.tables()[0].weight,
+            model.sparse_arch.tables()[0].weight,
+        )
+        v1, _ = _model(seed=6)
+        assert store.load("rm2", v1, version=1) == 1
+
+    def test_missing_model(self):
+        store = ModelStore(TectonicFS())
+        model, _ = _model()
+        with pytest.raises(FileNotFoundError):
+            store.load("nope", model)
+        store.save("m", model)
+        with pytest.raises(FileNotFoundError):
+            store.load("m", model, version=7)
+
+    def test_prune_retention(self):
+        fs = TectonicFS()
+        store = ModelStore(fs)
+        model, _ = _model()
+        for _ in range(5):
+            store.save("m", model)
+        deleted = store.prune("m", keep_last=2)
+        assert deleted == [1, 2, 3]
+        assert store.versions("m") == [4, 5]
+        with pytest.raises(ValueError):
+            store.prune("m", keep_last=-1)

@@ -1,0 +1,119 @@
+"""Tests for CTR evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trainer.evaluation import (
+    evaluate,
+    log_loss,
+    normalized_entropy,
+    roc_auc,
+)
+
+
+class TestValidation:
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            log_loss(np.zeros(2), np.zeros(3))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.zeros(0), np.zeros(0))
+
+    def test_non_probability(self):
+        with pytest.raises(ValueError):
+            log_loss(np.array([1.5]), np.array([1.0]))
+
+    def test_non_binary_labels(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.5]), np.array([0.3]))
+
+
+class TestLogLoss:
+    def test_perfect(self):
+        assert log_loss(np.array([1.0, 0.0]), np.array([1.0, 0.0])) < 1e-9
+
+    def test_uninformative(self):
+        ll = log_loss(np.array([0.5, 0.5]), np.array([1.0, 0.0]))
+        assert ll == pytest.approx(np.log(2))
+
+    def test_confidently_wrong_is_costly(self):
+        assert log_loss(np.array([0.99]), np.array([0.0])) > 4.0
+
+
+class TestAuc:
+    def test_perfect_ranking(self):
+        p = np.array([0.9, 0.8, 0.2, 0.1])
+        y = np.array([1.0, 1.0, 0.0, 0.0])
+        assert roc_auc(p, y) == pytest.approx(1.0)
+
+    def test_inverted_ranking(self):
+        p = np.array([0.1, 0.2, 0.8, 0.9])
+        y = np.array([1.0, 1.0, 0.0, 0.0])
+        assert roc_auc(p, y) == pytest.approx(0.0)
+
+    def test_ties_average(self):
+        p = np.array([0.5, 0.5])
+        y = np.array([1.0, 0.0])
+        assert roc_auc(p, y) == pytest.approx(0.5)
+
+    def test_single_class(self):
+        assert roc_auc(np.array([0.2, 0.8]), np.array([1.0, 1.0])) == 0.5
+
+    def test_matches_naive_pair_counting(self):
+        rng = np.random.default_rng(0)
+        p = rng.random(60)
+        y = (rng.random(60) < 0.4).astype(float)
+        pos = p[y == 1]
+        neg = p[y == 0]
+        wins = sum(
+            1.0 if a > b else (0.5 if a == b else 0.0)
+            for a in pos
+            for b in neg
+        )
+        assert roc_auc(p, y) == pytest.approx(wins / (pos.size * neg.size))
+
+
+class TestNormalizedEntropy:
+    def test_base_rate_predictor_is_one(self):
+        y = np.array([1.0, 0.0, 0.0, 0.0])
+        p = np.full(4, y.mean())
+        assert normalized_entropy(p, y) == pytest.approx(1.0)
+
+    def test_better_model_below_one(self):
+        y = np.array([1.0, 1.0, 0.0, 0.0])
+        p = np.array([0.8, 0.7, 0.3, 0.2])
+        assert normalized_entropy(p, y) < 1.0
+
+    def test_single_class_inf(self):
+        assert normalized_entropy(
+            np.array([0.5]), np.array([1.0])
+        ) == float("inf")
+
+    def test_evaluate_bundle(self):
+        y = np.array([1.0, 0.0])
+        p = np.array([0.7, 0.2])
+        out = evaluate(p, y)
+        assert set(out) == {"log_loss", "roc_auc", "normalized_entropy"}
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            st.integers(min_value=0, max_value=1),
+        ),
+        min_size=2,
+        max_size=50,
+    )
+)
+def test_property_auc_invariant_to_monotone_transform(pairs):
+    p = np.array([a for a, _ in pairs])
+    y = np.array([float(b) for _, b in pairs])
+    auc1 = roc_auc(p, y)
+    # halving is strictly monotone and exact in binary floating point, so
+    # it preserves the order and tie structure precisely
+    auc2 = roc_auc(p / 2, y)
+    assert auc1 == pytest.approx(auc2, abs=1e-9)

@@ -1,0 +1,148 @@
+"""Gradient-checked tests for MLP, loss, and optimizers."""
+
+import numpy as np
+import pytest
+
+from repro.trainer import MLP, SGD, Linear, bce_with_logits, sigmoid, sparse_row_update
+
+
+def numeric_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f at array x."""
+    g = np.zeros_like(x)
+    flat_x = x.ravel()
+    flat_g = g.ravel()
+    for i in range(flat_x.size):
+        old = flat_x[i]
+        flat_x[i] = old + eps
+        hi = f()
+        flat_x[i] = old - eps
+        lo = f()
+        flat_x[i] = old
+        flat_g[i] = (hi - lo) / (2 * eps)
+    return g
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 3, rng)
+        y = layer.forward(rng.normal(size=(5, 4)))
+        assert y.shape == (5, 3)
+
+    def test_backward_before_forward(self):
+        layer = Linear(2, 2, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 2)))
+
+    def test_gradients_match_numeric(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float((layer.forward(x) ** 2).sum())
+
+        layer.W.zero_grad()
+        layer.b.zero_grad()
+        y = layer.forward(x)
+        dx = layer.backward(2 * y)
+        np.testing.assert_allclose(
+            layer.W.grad, numeric_grad(loss, layer.W.value), atol=1e-5
+        )
+        np.testing.assert_allclose(
+            layer.b.grad, numeric_grad(loss, layer.b.value), atol=1e-5
+        )
+        np.testing.assert_allclose(dx, numeric_grad(loss, x), atol=1e-5)
+
+    def test_flops(self):
+        layer = Linear(10, 20, np.random.default_rng(0))
+        assert layer.flops(8) == 2 * 8 * 10 * 20
+
+
+class TestMLP:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            MLP(4, (), np.random.default_rng(0))
+
+    def test_gradients_match_numeric(self):
+        rng = np.random.default_rng(2)
+        mlp = MLP(3, (5, 2), rng)
+        x = rng.normal(size=(4, 3))
+
+        def loss():
+            return float((mlp.forward(x) ** 2).sum())
+
+        for p in mlp.params():
+            p.zero_grad()
+        y = mlp.forward(x)
+        dx = mlp.backward(2 * y)
+        np.testing.assert_allclose(dx, numeric_grad(loss, x), atol=1e-5)
+        for p in mlp.params():
+            np.testing.assert_allclose(
+                p.grad, numeric_grad(loss, p.value), atol=1e-5
+            )
+
+    def test_out_dim(self):
+        mlp = MLP(4, (8, 3), np.random.default_rng(0))
+        assert mlp.out_dim == 3
+        assert mlp.forward(np.zeros((2, 4))).shape == (2, 3)
+
+
+class TestLoss:
+    def test_sigmoid_stable(self):
+        x = np.array([-1000.0, 0.0, 1000.0])
+        s = sigmoid(x)
+        assert s[0] == pytest.approx(0.0)
+        assert s[1] == pytest.approx(0.5)
+        assert s[2] == pytest.approx(1.0)
+
+    def test_bce_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        logits = rng.normal(size=6)
+        labels = (rng.random(6) < 0.5).astype(float)
+
+        def f():
+            return bce_with_logits(logits, labels)[0]
+
+        _, grad = bce_with_logits(logits, labels)
+        np.testing.assert_allclose(grad, numeric_grad(f, logits), atol=1e-6)
+
+    def test_bce_validation(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            bce_with_logits(np.zeros(0), np.zeros(0))
+
+    def test_perfect_prediction_low_loss(self):
+        loss, _ = bce_with_logits(
+            np.array([20.0, -20.0]), np.array([1.0, 0.0])
+        )
+        assert loss < 1e-6
+
+
+class TestOptimizers:
+    def test_sgd_step(self):
+        rng = np.random.default_rng(4)
+        layer = Linear(2, 2, rng)
+        opt = SGD(layer.params(), lr=0.1)
+        before = layer.W.value.copy()
+        layer.W.grad[:] = 1.0
+        opt.step()
+        np.testing.assert_allclose(layer.W.value, before - 0.1)
+
+    def test_sgd_validation(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0)
+
+    def test_sparse_row_update_accumulates_duplicates(self):
+        w = np.zeros((4, 2))
+        ids = np.array([1, 1, 3])
+        grads = np.ones((3, 2))
+        sparse_row_update(w, ids, grads, lr=0.5)
+        np.testing.assert_allclose(w[1], [-1.0, -1.0])  # two hits
+        np.testing.assert_allclose(w[3], [-0.5, -0.5])
+        np.testing.assert_allclose(w[0], 0.0)
+
+    def test_sparse_row_update_validation(self):
+        with pytest.raises(ValueError):
+            sparse_row_update(np.zeros((2, 2)), np.array([0]), np.zeros((2, 2)), 0.1)
