@@ -1,0 +1,91 @@
+"""Reader-fleet scaling: serial vs sharded-fleet throughput.
+
+The reader tier is the stage RecD sizes fleets for (§2.1, Fig 7): N
+sharded workers scan disjoint row ranges of one landed partition and
+stream bit-identical batches through bounded prefetch queues.  This
+benchmark records the serial reader's samples/cpu-second next to fleet
+runs at 2 and 4 workers so the BENCH trajectory tracks both the per-node
+cost (aggregate CPU) and the fleet-level win (modeled wall-clock =
+slowest shard, how the parallel tier actually finishes).
+"""
+
+from repro.datagen import TraceConfig, TraceGenerator, rm1
+from repro.reader import ReaderFleet, ReaderNode
+from repro.storage import HiveTable, TectonicFS
+
+
+def _landed_rm1_table(num_sessions=400, seed=0):
+    w = rm1(scale=0.5)
+    samples = TraceGenerator(
+        w.schema, TraceConfig(seed=seed)
+    ).generate_partition(num_sessions)
+    table = HiveTable(
+        "rm1_table", w.schema, TectonicFS(), rows_per_file=2048, stripe_rows=64
+    )
+    table.land_partition("p0", samples)
+    return w, table
+
+
+def test_fleet_scaling(benchmark, emit):
+    w, table = _landed_rm1_table()
+    cfg_kwargs = dict(
+        sparse_features=tuple(w.schema.sparse_names),
+        dense_features=tuple(w.schema.dense_names),
+        transforms=("hash_modulo",),
+    )
+    from repro.reader import DataLoaderConfig
+
+    cfg = DataLoaderConfig(batch_size=256, **cfg_kwargs)
+
+    def run_all():
+        out = {}
+        serial = ReaderNode(cfg)
+        serial.run_all(table.open_readers("p0"))
+        out["serial"] = serial.report
+        out["fleet"] = {}
+        for n in (2, 4):
+            fleet = ReaderFleet(n, cfg, executor="process")
+            fleet.run(table, "p0")
+            out["fleet"][n] = fleet.report
+        return out
+
+    res = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    serial = res["serial"]
+    serial_qps = serial.samples_per_cpu_second
+    serial_wall_qps = (
+        serial.samples / serial.cpu.total if serial.cpu.total else 0.0
+    )
+
+    lines = [
+        f"serial : {serial.samples} samples, "
+        f"{serial_qps:,.0f} samples/cpu-s, "
+        f"modeled wall {serial.cpu.total * 1e3:.1f} ms",
+    ]
+    speedups = {}
+    for n, rep in res["fleet"].items():
+        merged = rep.merged
+        speedups[n] = (
+            rep.modeled_samples_per_second / serial_wall_qps
+            if serial_wall_qps
+            else 0.0
+        )
+        lines.append(
+            f"fleet x{n} ({rep.executor_used}): {merged.samples} samples, "
+            f"{merged.samples_per_cpu_second:,.0f} samples/cpu-s, "
+            f"modeled wall {rep.modeled_wall_seconds * 1e3:.1f} ms "
+            f"({speedups[n]:.2f}x serial), measured wall "
+            f"{rep.wall_seconds * 1e3:.0f} ms, queue wait "
+            f"put {rep.queue.put_wait * 1e3:.0f} ms / "
+            f"get {rep.queue.get_wait * 1e3:.0f} ms"
+        )
+    emit("Reader-fleet scaling (serial vs sharded workers)", lines)
+
+    # every fleet width processes exactly the serial sample count
+    for rep in res["fleet"].values():
+        assert rep.merged.samples == serial.samples
+        assert rep.merged.batches == serial.batches
+    # sharding must buy real parallel headroom: the modeled fleet
+    # wall-clock throughput (finishing with the straggler shard) clears
+    # 1.5x serial well before 4 workers
+    assert speedups[2] >= 1.5
+    assert speedups[4] >= 1.5

@@ -11,7 +11,7 @@ Run:  python examples/reader_tier_sizing.py
 
 from repro.datagen import rm1
 from repro.pipeline import PipelineConfig, RecDToggles, run_pipeline
-from repro.reader import ReaderTier, readers_required
+from repro.reader import ReaderFleet, readers_required
 from repro.pipeline.runner import land_table
 
 
@@ -49,7 +49,9 @@ def main() -> None:
             f"each reader supplies {plan.reader_samples_per_s:,.0f}/s)"
         )
 
-    # run an actual tier over the RecD partition to show the fleet works
+    # run an actual sharded fleet over the RecD partition: N workers scan
+    # disjoint row-range shards and stream batches through bounded
+    # prefetch queues, bit-identical to the serial reader's output
     cfg = PipelineConfig(
         workload=w, toggles=RecDToggles.full(), num_sessions=200
     )
@@ -57,13 +59,19 @@ def main() -> None:
     plan = readers_required(
         results["RecD"].trainer_qps, results["RecD"].reader_qps
     )
-    tier = ReaderTier(min(plan.num_readers, 8), cfg.dataloader_config())
-    batches = tier.run(table.open_readers("p0"))
+    fleet = ReaderFleet(
+        min(plan.num_readers, 8), cfg.dataloader_config(), prefetch_depth=2
+    )
+    batches = fleet.run(table, "p0")
+    rep = fleet.report
+    merged = rep.merged
     print(
-        f"\ntier run: {len(tier.nodes)} readers processed "
-        f"{tier.report.samples} samples in {len(batches)} batches; "
-        f"modeled wall-clock {tier.wall_clock_seconds * 1e3:.1f} ms "
-        f"(vs {tier.report.cpu.total * 1e3:.1f} ms single-node CPU)"
+        f"\nfleet run: {len(rep.workers)} workers ({rep.executor_used}) "
+        f"processed {merged.samples} samples in {len(batches)} batches; "
+        f"modeled wall-clock {rep.modeled_wall_seconds * 1e3:.1f} ms "
+        f"(vs {merged.cpu.total * 1e3:.1f} ms single-node CPU); "
+        f"queue wait put {rep.queue.put_wait * 1e3:.1f} ms / "
+        f"get {rep.queue.get_wait * 1e3:.1f} ms"
     )
 
 

@@ -170,6 +170,8 @@ def _cmd_pipeline(args) -> int:
             toggles=toggles,
             num_sessions=args.sessions,
             seed=args.seed,
+            num_readers=args.num_readers,
+            prefetch_depth=args.prefetch_depth,
         )
     )
     mode = "RecD" if args.recd else "baseline"
@@ -179,6 +181,15 @@ def _cmd_pipeline(args) -> int:
     print(f"  storage compression : {res.storage_compression:.2f}x")
     print(f"  reader throughput   : {res.reader_qps:,.0f} samples/cpu-s")
     print(f"  trainer throughput  : {res.trainer_qps:,.0f} samples/s")
+    fleet = res.fleet
+    if fleet is not None:
+        print(
+            f"  reader fleet        : {len(fleet.workers)} workers "
+            f"({fleet.executor_used}), modeled wall "
+            f"{fleet.modeled_wall_seconds * 1e3:.1f} ms, queue wait "
+            f"put {fleet.queue.put_wait * 1e3:.1f} ms / "
+            f"get {fleet.queue.get_wait * 1e3:.1f} ms"
+        )
     return 0
 
 
@@ -219,6 +230,10 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--rm", choices=sorted(_WORKLOADS), default="RM1")
             p.add_argument("--recd", action="store_true",
                            help="enable all RecD optimizations (O1-O7)")
+            p.add_argument("--num-readers", type=int, default=1,
+                           help="reader-fleet width (sharded workers)")
+            p.add_argument("--prefetch-depth", type=int, default=2,
+                           help="bounded prefetch per reader worker")
     return parser
 
 

@@ -1,11 +1,16 @@
 """Resource counters and phase breakdowns (the currency of all results)."""
 
-from .breakdown import IterationBreakdown, ReaderCpuBreakdown
+from .breakdown import (
+    IterationBreakdown,
+    QueueWaitBreakdown,
+    ReaderCpuBreakdown,
+)
 from .counters import Counters, MemoryTracker
 
 __all__ = [
     "Counters",
     "MemoryTracker",
     "IterationBreakdown",
+    "QueueWaitBreakdown",
     "ReaderCpuBreakdown",
 ]

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ReaderCpuBreakdown", "IterationBreakdown"]
+__all__ = ["ReaderCpuBreakdown", "IterationBreakdown", "QueueWaitBreakdown"]
 
 
 @dataclass
@@ -39,6 +39,34 @@ class ReaderCpuBreakdown:
             "process": self.process / denom,
             "total": self.total / denom,
         }
+
+
+@dataclass
+class QueueWaitBreakdown:
+    """Wall-clock seconds spent blocked on a fleet's prefetch queues.
+
+    ``put_wait`` is producer-side blocking: a reader finished a batch but
+    its bounded queue was full, i.e. that reader ran *ahead* of the
+    in-order drain.  Because the merge loop empties shards in order, a
+    later shard's put_wait mixes genuine consumer slowness with simply
+    waiting for its merge turn — so large put_wait means "readers are
+    over-provisioned relative to downstream consumption", not
+    specifically "the consumer is slow".  ``get_wait`` is unambiguous
+    consumer-side starvation: the merge loop waited for the next batch,
+    so the readers are the bottleneck — the §2.1 under-provisioning
+    signal the reader tier is sized to eliminate.
+    """
+
+    put_wait: float = 0.0
+    get_wait: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.put_wait + self.get_wait
+
+    def merge(self, other: "QueueWaitBreakdown") -> None:
+        self.put_wait += other.put_wait
+        self.get_wait += other.get_wait
 
 
 @dataclass

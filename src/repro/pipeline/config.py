@@ -80,6 +80,17 @@ class PipelineConfig:
     max_table_rows: int = 2000
     seed: int = 0
     transforms: tuple[str, ...] = ("hash_modulo",)
+    #: reader-fleet width: how many sharded reader workers scan the
+    #: landed partition (1 = the serial single-node path)
+    num_readers: int = 1
+    #: bounded prefetch per reader worker (2 = double buffering)
+    prefetch_depth: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_readers <= 0:
+            raise ValueError("num_readers must be positive")
+        if self.prefetch_depth <= 0:
+            raise ValueError("prefetch_depth must be positive")
 
     @property
     def effective_batch_size(self) -> int:

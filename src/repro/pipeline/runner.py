@@ -15,7 +15,8 @@ from ..datagen.session import Sample
 from ..distributed.costmodel import sim_cluster
 from ..distributed.trainer import DistributedTrainer, TrainingReport
 from ..etl.pipeline import ETLConfig, ETLJob
-from ..reader.node import ReaderNode, ReaderReport
+from ..reader.fleet import FleetReport, ReaderFleet
+from ..reader.node import ReaderReport
 from ..scribe.bus import ScribeCluster, ScribeStats
 from ..scribe.message import split_sample
 from ..scribe.sharding import ShardKeyPolicy
@@ -38,6 +39,8 @@ class PipelineResult:
     reader: ReaderReport
     training: TrainingReport
     samples_landed: int
+    #: per-worker + queue-wait detail behind the merged ``reader`` report
+    fleet: FleetReport | None = None
 
     # -- the Fig 7 headline metrics ------------------------------------------
 
@@ -108,11 +111,12 @@ def run_pipeline(config: PipelineConfig, track_updates: bool = False) -> Pipelin
     """Run every stage and collect the measurements."""
     table, scribe_stats, ingest_bytes, partition, samples = land_table(config)
 
-    reader_node = ReaderNode(config.dataloader_config())
-    batches = reader_node.run_all(
-        table.open_readers("p0"),
-        max_batches=config.train_batches,
+    fleet = ReaderFleet(
+        config.num_readers,
+        config.dataloader_config(),
+        prefetch_depth=config.prefetch_depth,
     )
+    batches = fleet.run(table, "p0", max_batches=config.train_batches)
     if not batches:
         raise ValueError(
             "partition too small for even one batch: "
@@ -138,7 +142,8 @@ def run_pipeline(config: PipelineConfig, track_updates: bool = False) -> Pipelin
         scribe=scribe_stats,
         scribe_ingest_bytes=ingest_bytes,
         partition=partition,
-        reader=reader_node.report,
+        reader=fleet.report.merged,
         training=training,
         samples_landed=len(samples),
+        fleet=fleet.report,
     )

@@ -5,6 +5,7 @@ from .config import DataLoaderConfig
 from .convert import ConvertStats, convert_rows
 from .costmodel import ReaderCostModel
 from .fill import FillStats, fill_batches
+from .fleet import FleetReport, ReaderFleet
 from .node import ReaderNode, ReaderReport
 from .preprocess import (
     TRANSFORM_REGISTRY,
@@ -16,6 +17,7 @@ from .preprocess import (
     TruncateLength,
     apply_transforms,
 )
+from .shard import RowRangeShard, covering_files, plan_shards
 from .tier import ReaderTier, TierPlan, readers_required
 
 __all__ = [
@@ -26,8 +28,13 @@ __all__ = [
     "ReaderCostModel",
     "fill_batches",
     "FillStats",
+    "FleetReport",
+    "ReaderFleet",
     "ReaderNode",
     "ReaderReport",
+    "RowRangeShard",
+    "covering_files",
+    "plan_shards",
     "SparseTransform",
     "HashModulo",
     "ClampValues",

@@ -35,14 +35,28 @@ def fill_batches(
     readers: list[DwrfReader],
     batch_size: int,
     drop_last: bool = True,
+    row_start: int = 0,
+    row_stop: int | None = None,
 ) -> Iterator[tuple[list[Sample], FillStats]]:
     """Stream fixed-size batches of rows off a partition's file readers.
 
     Stripes are read lazily; each yielded batch carries the *incremental*
     fill work (so a node can attribute CPU time per batch).
+
+    ``row_start``/``row_stop`` restrict filling to a window of the global
+    row order across ``readers`` — how one fleet shard scans only its
+    slice of a partition.  Stripes entirely outside the window are
+    skipped without being fetched or decoded (their headers carry the row
+    counts), so a shard pays fill cost only for stripes it touches; edge
+    stripes are decoded whole and sliced, exactly as a real columnar
+    reader would.
     """
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
+    if row_start < 0:
+        raise ValueError("row_start must be non-negative")
+    if row_stop is not None and row_stop < row_start:
+        raise ValueError("row_stop must be >= row_start")
     pending: list[Sample] = []
     prev = FillStats()
 
@@ -62,9 +76,25 @@ def fill_batches(
         prev.values_decoded = cur.values_decoded
         return delta
 
+    pos = 0  # global row index of the next unread stripe's first row
+    done = False
     for reader in readers:
+        if done:
+            break
         for stripe_idx in range(reader.num_stripes):
-            pending.extend(reader.read_stripe(stripe_idx))
+            stripe_rows = reader.stripe_num_rows(stripe_idx)
+            lo = max(row_start - pos, 0)
+            hi = stripe_rows if row_stop is None else min(
+                stripe_rows, row_stop - pos
+            )
+            pos += stripe_rows
+            if hi <= 0:  # stripe is entirely past the window
+                done = True
+                break
+            if lo >= stripe_rows:  # stripe is entirely before the window
+                continue
+            rows = reader.read_stripe(stripe_idx)
+            pending.extend(rows[lo:hi])
             while len(pending) >= batch_size:
                 batch, pending = pending[:batch_size], pending[batch_size:]
                 yield batch, snapshot()

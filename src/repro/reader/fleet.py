@@ -1,0 +1,303 @@
+"""A sharded fleet of reader workers feeding trainers (Fig 5, §2.1).
+
+The deployed reader tier is a *fleet*: N stateless readers each scan a
+slice of a landed partition concurrently and stream preprocessed batches
+to trainers.  :class:`ReaderFleet` reproduces that shape over one
+Hive/DWRF partition:
+
+* the partition's global row order is cut into batch-aligned
+  :class:`~repro.reader.shard.RowRangeShard` windows (one per worker);
+* each worker runs the full Fill -> Convert -> Process
+  :class:`~repro.reader.node.ReaderNode` pipeline over its window;
+* finished batches stream back through **bounded prefetch queues**
+  (default depth 2 — double buffering: a worker decodes its next batch
+  while the previous one is in flight), and the merge loop emits them in
+  shard order, so the fleet's batch stream is **bit-identical** to the
+  serial reader's regardless of worker count or scheduling;
+* per-worker :class:`~repro.reader.node.ReaderReport`\\ s plus queue-wait
+  accounting merge into one :class:`FleetReport`.
+
+Two executors share this plan.  ``"process"`` runs workers as real
+``multiprocessing`` processes — actual CPU parallelism, the production
+shape.  ``"inprocess"`` runs the same shards sequentially in the calling
+process — deterministic, dependency-free, what tests and ``num_readers=1``
+use.  ``"auto"`` picks between them, falling back to in-process if the
+platform cannot spawn processes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_lib
+import time
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from ..metrics.breakdown import QueueWaitBreakdown
+from ..storage.dwrf import DwrfReader
+from ..storage.hive import HiveTable
+from .batch import Batch
+from .config import DataLoaderConfig
+from .costmodel import ReaderCostModel
+from .node import ReaderNode, ReaderReport
+from .shard import RowRangeShard, covering_files, plan_shards
+
+__all__ = ["FleetReport", "ReaderFleet"]
+
+_EXECUTORS = ("auto", "process", "inprocess")
+_DONE = "__shard_done__"
+_ERROR = "__shard_error__"
+_WORKER_JOIN_TIMEOUT = 30.0
+
+
+@dataclass
+class FleetReport:
+    """Merged measurements for one fleet run."""
+
+    workers: list[ReaderReport] = field(default_factory=list)
+    queue: QueueWaitBreakdown = field(default_factory=QueueWaitBreakdown)
+    executor_used: str = "inprocess"
+    num_shards: int = 0
+    wall_seconds: float = 0.0  # measured end-to-end run() time
+
+    @property
+    def merged(self) -> ReaderReport:
+        """All workers folded into one tier-level ReaderReport."""
+        total = ReaderReport()
+        for rep in self.workers:
+            total.merge(rep)
+        return total
+
+    @property
+    def modeled_wall_seconds(self) -> float:
+        """Modeled fleet latency: the slowest worker's CPU time (workers
+        run in parallel, so the fleet finishes with its straggler)."""
+        return max((rep.cpu.total for rep in self.workers), default=0.0)
+
+    @property
+    def modeled_samples_per_second(self) -> float:
+        """Fleet throughput against the modeled parallel wall-clock."""
+        wall = self.modeled_wall_seconds
+        if wall == 0:
+            return 0.0
+        return self.merged.samples / wall
+
+
+def _fleet_worker(
+    blobs: list[bytes],
+    schema,
+    config: DataLoaderConfig,
+    cost_model: ReaderCostModel,
+    local_start: int,
+    local_stop: int,
+    out: multiprocessing.queues.Queue,
+) -> None:
+    """One worker process: scan a shard window, stream batches back."""
+    try:
+        readers = [DwrfReader(blob, schema) for blob in blobs]
+        node = ReaderNode(config, cost_model)
+        put_wait = 0.0
+        for batch in node.run(
+            readers, row_start=local_start, row_stop=local_stop
+        ):
+            t0 = time.perf_counter()
+            out.put(batch)
+            put_wait += time.perf_counter() - t0
+        out.put((_DONE, node.report, put_wait))
+    except Exception as exc:  # pragma: no cover - surfaced in the parent
+        out.put((_ERROR, f"{type(exc).__name__}: {exc}"))
+
+
+class ReaderFleet:
+    """N sharded reader workers over one landed partition.
+
+    The fleet's batch stream is bit-identical to
+    ``ReaderNode.run_all(table.open_readers(partition))`` for every
+    ``num_readers`` — sharding only changes *who* decodes a row, never
+    which rows form which batch.
+    """
+
+    def __init__(
+        self,
+        num_readers: int,
+        config: DataLoaderConfig,
+        cost_model: ReaderCostModel | None = None,
+        prefetch_depth: int = 2,
+        executor: str = "auto",
+    ):
+        if num_readers <= 0:
+            raise ValueError("num_readers must be positive")
+        if prefetch_depth <= 0:
+            raise ValueError("prefetch_depth must be positive")
+        if executor not in _EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {_EXECUTORS}, got {executor!r}"
+            )
+        self.num_readers = num_readers
+        self.config = config
+        self.cost_model = cost_model or ReaderCostModel()
+        self.prefetch_depth = prefetch_depth
+        self.executor = executor
+        self.report = FleetReport()
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        table: HiveTable,
+        partition: str,
+        max_batches: int | None = None,
+    ) -> list[Batch]:
+        """Scan one partition with the fleet; returns batches in serial
+        order and leaves the merged measurements in ``self.report``."""
+        return list(self.iter_batches(table, partition, max_batches))
+
+    def iter_batches(
+        self,
+        table: HiveTable,
+        partition: str,
+        max_batches: int | None = None,
+    ) -> Iterator[Batch]:
+        """Stream the fleet's batches in deterministic (serial) order."""
+        info = table.partitions[partition]
+        shards = plan_shards(
+            info.num_rows,
+            self.config.batch_size,
+            self.num_readers,
+            max_batches=max_batches,
+        )
+        self.report = FleetReport(num_shards=len(shards))
+        started = time.perf_counter()
+        executor = self.executor
+        if executor == "auto":
+            executor = "process" if len(shards) > 1 else "inprocess"
+        try:
+            if executor == "process":
+                emitted = 0
+                try:
+                    for batch in self._iter_multiprocess(table, info, shards):
+                        emitted += 1
+                        yield batch
+                except OSError:
+                    # Platforms without working process/semaphore support
+                    # (locked-down sandboxes) degrade to the serial
+                    # executor rather than failing the job — but only if
+                    # nothing was emitted yet, to never duplicate batches.
+                    if emitted:
+                        raise
+                    self.report = FleetReport(
+                        num_shards=len(shards),
+                        executor_used="inprocess-fallback",
+                    )
+                    yield from self._iter_inprocess(table, info, shards)
+            else:
+                yield from self._iter_inprocess(table, info, shards)
+        finally:
+            self.report.wall_seconds = time.perf_counter() - started
+
+    # -- executors ---------------------------------------------------------
+
+    def _shard_sources(
+        self, table: HiveTable, info, shards: list[RowRangeShard]
+    ) -> Iterator[tuple[RowRangeShard, list[bytes], int, int]]:
+        """Per shard: the covering files' blobs and the local row window."""
+        blobs = [table.fs.read(path) for path in info.files]
+        row_counts = [
+            DwrfReader(blob, table.schema).num_rows for blob in blobs
+        ]
+        for shard in shards:
+            file_idxs, base = covering_files(
+                row_counts, shard.row_start, shard.row_stop
+            )
+            yield (
+                shard,
+                [blobs[i] for i in file_idxs],
+                shard.row_start - base,
+                shard.row_stop - base,
+            )
+
+    def _iter_inprocess(
+        self, table: HiveTable, info, shards: list[RowRangeShard]
+    ) -> Iterator[Batch]:
+        if self.report.executor_used != "inprocess-fallback":
+            self.report.executor_used = "inprocess"
+        for _, blobs, local_start, local_stop in self._shard_sources(
+            table, info, shards
+        ):
+            readers = [DwrfReader(blob, table.schema) for blob in blobs]
+            node = ReaderNode(self.config, self.cost_model)
+            yield from node.run(
+                readers, row_start=local_start, row_stop=local_stop
+            )
+            self.report.workers.append(node.report)
+
+    def _iter_multiprocess(
+        self, table: HiveTable, info, shards: list[RowRangeShard]
+    ) -> Iterator[Batch]:
+        self.report.executor_used = "process"
+        ctx = multiprocessing.get_context(
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        procs: list = []
+        queues: list = []
+        # One bounded queue per worker: each worker prefetches at most
+        # prefetch_depth batches ahead of the merge loop (double
+        # buffering at the default depth of 2), and the merge loop drains
+        # workers in shard order so output order is deterministic.
+        for shard, blobs, local_start, local_stop in self._shard_sources(
+            table, info, shards
+        ):
+            queue = ctx.Queue(maxsize=self.prefetch_depth)
+            proc = ctx.Process(
+                target=_fleet_worker,
+                args=(
+                    blobs,
+                    table.schema,
+                    self.config,
+                    self.cost_model,
+                    local_start,
+                    local_stop,
+                    queue,
+                ),
+                daemon=True,
+                name=f"reader-shard-{shard.index}",
+            )
+            proc.start()
+            procs.append(proc)
+            queues.append(queue)
+        try:
+            for proc, queue in zip(procs, queues):
+                while True:
+                    t0 = time.perf_counter()
+                    item = self._get(queue, proc)
+                    self.report.queue.get_wait += time.perf_counter() - t0
+                    if isinstance(item, tuple) and item and item[0] == _DONE:
+                        _, worker_report, put_wait = item
+                        self.report.workers.append(worker_report)
+                        self.report.queue.put_wait += put_wait
+                        break
+                    if isinstance(item, tuple) and item and item[0] == _ERROR:
+                        raise RuntimeError(f"reader worker failed: {item[1]}")
+                    yield item
+            for proc in procs:
+                proc.join(timeout=_WORKER_JOIN_TIMEOUT)
+        finally:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+
+    @staticmethod
+    def _get(queue, proc):
+        """Queue.get that notices a worker dying without a sentinel."""
+        while True:
+            try:
+                return queue.get(timeout=1.0)
+            except queue_lib.Empty:
+                if not proc.is_alive() and queue.empty():
+                    raise RuntimeError(
+                        f"reader worker {proc.name} exited "
+                        f"(exitcode={proc.exitcode}) without finishing"
+                    ) from None

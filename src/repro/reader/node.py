@@ -39,6 +39,15 @@ class ReaderReport:
             return 0.0
         return self.samples / self.cpu.total
 
+    def merge(self, other: "ReaderReport") -> None:
+        """Fold another reader's measurements into this one (fleet/tier
+        aggregation)."""
+        self.cpu.merge(other.cpu)
+        self.samples += other.samples
+        self.batches += other.batches
+        self.read_bytes += other.read_bytes
+        self.send_bytes += other.send_bytes
+
 
 class ReaderNode:
     """One reader node bound to a job config and a cost model."""
@@ -53,13 +62,27 @@ class ReaderNode:
         self.report = ReaderReport()
 
     def run(
-        self, file_readers: list[DwrfReader], max_batches: int | None = None
+        self,
+        file_readers: list[DwrfReader],
+        max_batches: int | None = None,
+        row_start: int = 0,
+        row_stop: int | None = None,
     ) -> Iterator[Batch]:
-        """Stream preprocessed batches off the given file splits."""
+        """Stream preprocessed batches off the given file splits.
+
+        ``row_start``/``row_stop`` scope the node to one row-range shard
+        of the splits' global row order (the fleet path); the defaults
+        scan everything (the serial path).
+        """
+        if max_batches is not None and max_batches <= 0:
+            return
         cm = self.cost_model
         rep = self.report
         for rows, fill_stats in fill_batches(
-            file_readers, self.config.batch_size
+            file_readers,
+            self.config.batch_size,
+            row_start=row_start,
+            row_stop=row_stop,
         ):
             batch, conv_stats = convert_rows(rows, self.config)
             batch, proc_stats = apply_transforms(batch, self.config.transforms)
@@ -82,6 +105,10 @@ class ReaderNode:
                 return
 
     def run_all(
-        self, file_readers: list[DwrfReader], max_batches: int | None = None
+        self,
+        file_readers: list[DwrfReader],
+        max_batches: int | None = None,
+        row_start: int = 0,
+        row_stop: int | None = None,
     ) -> list[Batch]:
-        return list(self.run(file_readers, max_batches))
+        return list(self.run(file_readers, max_batches, row_start, row_stop))

@@ -13,7 +13,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..metrics.breakdown import ReaderCpuBreakdown
 from .batch import Batch
 from .config import DataLoaderConfig
 from .costmodel import ReaderCostModel
@@ -85,14 +84,9 @@ class ReaderTier:
 
     @property
     def report(self) -> ReaderReport:
-        total = ReaderReport(cpu=ReaderCpuBreakdown())
+        total = ReaderReport()
         for node in self.nodes:
-            r = node.report
-            total.cpu.merge(r.cpu)
-            total.samples += r.samples
-            total.batches += r.batches
-            total.read_bytes += r.read_bytes
-            total.send_bytes += r.send_bytes
+            total.merge(node.report)
         return total
 
     @property

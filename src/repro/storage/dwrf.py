@@ -188,10 +188,12 @@ class DwrfReader:
         self.schema = schema
         self._blob = blob
         self._stripe_offsets: list[int] = []
+        self._stripe_rows: list[int] = []
         pos = _FILE_HEADER.size
         for _ in range(num_stripes):
             self._stripe_offsets.append(pos)
-            (byte_len, _, _) = _STRIPE_HEADER.unpack_from(blob, pos)
+            (byte_len, stripe_rows, _) = _STRIPE_HEADER.unpack_from(blob, pos)
+            self._stripe_rows.append(stripe_rows)
             pos += byte_len
         self.bytes_read = 0
         self.raw_bytes = 0
@@ -200,6 +202,18 @@ class DwrfReader:
     @property
     def num_stripes(self) -> int:
         return len(self._stripe_offsets)
+
+    @property
+    def num_rows(self) -> int:
+        """Total rows in the file, known from stripe headers alone."""
+        return sum(self._stripe_rows)
+
+    def stripe_num_rows(self, index: int) -> int:
+        """Rows in one stripe without fetching/decoding it — what lets a
+        row-range shard skip stripes outside its window for free."""
+        if not 0 <= index < self.num_stripes:
+            raise IndexError(f"stripe {index} out of range")
+        return self._stripe_rows[index]
 
     def read_stripe(self, index: int) -> list[Sample]:
         if not 0 <= index < self.num_stripes:

@@ -1,0 +1,119 @@
+"""Shared dataset, trace, and landed-table fixtures for the test suite.
+
+The reader/pipeline tests all need the same scaffolding — a small schema
+with one slow-changing history feature and one fast-changing item
+feature, a generated trace, and a partition landed on an in-memory
+Hive/DWRF table.  These helpers replace the per-module copies of that
+setup; module-level code can import the ``make_*``/``land_samples``
+functions (``from tests.conftest import ...``), tests take the fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import (
+    DatasetSchema,
+    DenseFeatureSpec,
+    SparseFeatureSpec,
+    TraceConfig,
+    generate_partition,
+    rm1,
+)
+from repro.etl import cluster_by_session
+from repro.storage import HiveTable, TectonicFS
+
+__all__ = [
+    "make_reader_schema",
+    "make_trace",
+    "land_samples",
+]
+
+
+def make_reader_schema(
+    hist_avg_length: int = 16,
+    hist_change_prob: float = 0.05,
+) -> DatasetSchema:
+    """The canonical small reader-path schema: a sticky session-level
+    ``hist`` feature, a volatile per-sample ``item`` feature, one dense."""
+    return DatasetSchema(
+        sparse=(
+            SparseFeatureSpec(
+                "hist",
+                avg_length=hist_avg_length,
+                change_prob=hist_change_prob,
+            ),
+            SparseFeatureSpec("item", avg_length=2, change_prob=0.9),
+        ),
+        dense=(DenseFeatureSpec("d"),),
+    )
+
+
+def make_trace(
+    schema: DatasetSchema,
+    sessions: int = 60,
+    seed: int = 0,
+    clustered: bool = False,
+):
+    """Generate one partition's samples, optionally session-clustered (O2)."""
+    samples = generate_partition(schema, sessions, TraceConfig(seed=seed))
+    if clustered:
+        samples = cluster_by_session(samples)
+    return samples
+
+
+def land_samples(
+    schema: DatasetSchema,
+    samples,
+    rows_per_file: int = 4096,
+    stripe_rows: int = 256,
+) -> HiveTable:
+    """Land ``samples`` as partition ``"p"`` of an in-memory table ``"t"``."""
+    table = HiveTable(
+        "t",
+        schema,
+        TectonicFS(),
+        rows_per_file=rows_per_file,
+        stripe_rows=stripe_rows,
+    )
+    table.land_partition("p", samples)
+    return table
+
+
+@pytest.fixture
+def reader_schema() -> DatasetSchema:
+    return make_reader_schema()
+
+
+@pytest.fixture
+def landed_table():
+    """Factory fixture: ``landed_table(clustered=..., seed=...)`` returns
+    ``(table, samples)`` with the trace landed as partition ``"p"``."""
+
+    def make(
+        clustered: bool = False,
+        seed: int = 0,
+        sessions: int = 60,
+        schema: DatasetSchema | None = None,
+        rows_per_file: int = 4096,
+        stripe_rows: int = 256,
+    ):
+        schema = schema or make_reader_schema()
+        samples = make_trace(
+            schema, sessions=sessions, seed=seed, clustered=clustered
+        )
+        table = land_samples(
+            schema,
+            samples,
+            rows_per_file=rows_per_file,
+            stripe_rows=stripe_rows,
+        )
+        return table, samples
+
+    return make
+
+
+@pytest.fixture
+def rm1_half():
+    """The workload most pipeline tests run: RM1 at half scale."""
+    return rm1(scale=0.5)

@@ -40,29 +40,29 @@ class TestRecDToggles:
 
 
 class TestPipelineConfig:
-    def test_effective_batch_size_follows_toggles(self):
-        w = rm1(scale=0.5)
+    def test_effective_batch_size_follows_toggles(self, rm1_half):
+        w = rm1_half
         base = PipelineConfig(workload=w, toggles=RecDToggles.baseline())
         full = PipelineConfig(workload=w, toggles=RecDToggles.full())
         assert base.effective_batch_size == w.baseline_batch_size
         assert full.effective_batch_size == w.recd_batch_size
 
-    def test_batch_override(self):
-        w = rm1(scale=0.5)
+    def test_batch_override(self, rm1_half):
+        w = rm1_half
         cfg = PipelineConfig(
             workload=w, toggles=RecDToggles.full(), batch_size=99
         )
         assert cfg.effective_batch_size == 99
 
-    def test_dataloader_config_dedup(self):
-        w = rm1(scale=0.5)
+    def test_dataloader_config_dedup(self, rm1_half):
+        w = rm1_half
         cfg = PipelineConfig(workload=w, toggles=RecDToggles.full())
         dl = cfg.dataloader_config()
         assert dl.dedup_sparse_features == w.dedup_groups
         assert set(dl.all_sparse_names) == set(w.schema.sparse_names)
 
-    def test_dataloader_config_baseline(self):
-        w = rm1(scale=0.5)
+    def test_dataloader_config_baseline(self, rm1_half):
+        w = rm1_half
         cfg = PipelineConfig(workload=w, toggles=RecDToggles.baseline())
         dl = cfg.dataloader_config()
         assert dl.dedup_sparse_features == ()

@@ -1,0 +1,300 @@
+"""Tests for the sharded reader fleet: shard planning round-trips,
+bit-identical output versus the serial reader, report merging, and the
+prefetch-queue accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import QueueWaitBreakdown, ReaderCpuBreakdown
+from repro.reader import (
+    DataLoaderConfig,
+    FleetReport,
+    ReaderFleet,
+    ReaderNode,
+    ReaderReport,
+    RowRangeShard,
+    covering_files,
+    plan_shards,
+)
+
+
+def _plain_cfg(batch_size=48):
+    return DataLoaderConfig(
+        batch_size=batch_size,
+        sparse_features=("hist", "item"),
+        dense_features=("d",),
+        transforms=("hash_modulo",),
+    )
+
+
+def _dedup_cfg(batch_size=48):
+    return DataLoaderConfig(
+        batch_size=batch_size,
+        sparse_features=("item",),
+        dedup_sparse_features=(("hist",),),
+        dense_features=("d",),
+        transforms=("hash_modulo",),
+    )
+
+
+def assert_batches_identical(got, want):
+    """Bit-level batch equality: every tensor component must match."""
+    assert len(got) == len(want)
+    for a, b in zip(got, want):
+        np.testing.assert_array_equal(a.dense, b.dense)
+        np.testing.assert_array_equal(a.labels, b.labels)
+        assert (a.kjt is None) == (b.kjt is None)
+        if a.kjt is not None:
+            assert a.kjt == b.kjt
+        assert a.ikjts == b.ikjts
+        assert (a.partial is None) == (b.partial is None)
+        if a.partial is not None:
+            assert a.partial.to_kjt() == b.partial.to_kjt()
+
+
+# -- shard planning ----------------------------------------------------------
+
+
+class TestPlanShards:
+    @given(
+        num_rows=st.integers(min_value=0, max_value=5000),
+        batch_size=st.integers(min_value=1, max_value=128),
+        num_shards=st.integers(min_value=1, max_value=16),
+    )
+    def test_property_round_trip(self, num_rows, batch_size, num_shards):
+        """Shards are ordered, contiguous, disjoint, cover every row, and
+        interior boundaries stay batch-aligned."""
+        shards = plan_shards(num_rows, batch_size, num_shards)
+        assert [s.index for s in shards] == list(range(len(shards)))
+        pos = 0
+        for s in shards:
+            assert s.row_start == pos  # contiguous => disjoint + ordered
+            assert s.row_stop >= s.row_start
+            pos = s.row_stop
+        assert pos == num_rows  # full coverage
+        for s in shards[:-1]:
+            assert s.num_rows % batch_size == 0
+        # no full batch is lost or invented by the split
+        assert (
+            sum(s.num_rows // batch_size for s in shards)
+            == num_rows // batch_size
+        )
+        assert len(shards) <= num_shards
+
+    @given(
+        num_rows=st.integers(min_value=0, max_value=5000),
+        batch_size=st.integers(min_value=1, max_value=128),
+        num_shards=st.integers(min_value=1, max_value=16),
+        max_batches=st.integers(min_value=0, max_value=40),
+    )
+    def test_property_max_batches_cap(
+        self, num_rows, batch_size, num_shards, max_batches
+    ):
+        shards = plan_shards(
+            num_rows, batch_size, num_shards, max_batches=max_batches
+        )
+        planned = sum(s.num_rows // batch_size for s in shards)
+        assert planned == min(max_batches, num_rows // batch_size)
+
+    def test_tail_rides_in_last_shard(self):
+        shards = plan_shards(250, 32, 3)
+        # 7 full batches, tail of 26 rows on the last shard
+        assert shards[-1].row_stop == 250
+        assert shards[0].num_rows % 32 == 0
+
+    def test_no_full_batch_single_shard(self):
+        shards = plan_shards(10, 32, 4)
+        assert shards == [RowRangeShard(0, 0, 10)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_shards(-1, 32, 2)
+        with pytest.raises(ValueError):
+            plan_shards(100, 0, 2)
+        with pytest.raises(ValueError):
+            plan_shards(100, 32, 0)
+        with pytest.raises(ValueError):
+            plan_shards(100, 32, 2, max_batches=-1)
+        with pytest.raises(ValueError):
+            RowRangeShard(0, 5, 4)
+
+
+class TestCoveringFiles:
+    def test_window_maps_to_files(self):
+        counts = [100, 100, 100]
+        assert covering_files(counts, 0, 100) == ([0], 0)
+        assert covering_files(counts, 50, 150) == ([0, 1], 0)
+        assert covering_files(counts, 100, 300) == ([1, 2], 100)
+        assert covering_files(counts, 250, 260) == ([2], 200)
+
+    def test_empty_window(self):
+        assert covering_files([100, 100], 50, 50) == ([], 0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            covering_files([10], 5, 4)
+        with pytest.raises(ValueError):
+            covering_files([-1], 0, 1)
+
+    @given(
+        counts=st.lists(
+            st.integers(min_value=0, max_value=200), min_size=1, max_size=8
+        ),
+        data=st.data(),
+    )
+    def test_property_covers_window(self, counts, data):
+        total = sum(counts)
+        start = data.draw(st.integers(min_value=0, max_value=total))
+        stop = data.draw(st.integers(min_value=start, max_value=total))
+        idxs, base = covering_files(counts, start, stop)
+        # every row of the window falls inside the returned files
+        if start < stop:
+            assert idxs
+            covered_stop = base + sum(counts[i] for i in range(idxs[0], idxs[-1] + 1))
+            assert base <= start and covered_stop >= stop
+
+
+# -- fleet output determinism ------------------------------------------------
+
+
+class TestFleetDeterminism:
+    def _serial(self, table, cfg, max_batches=None):
+        return ReaderNode(cfg).run_all(
+            table.open_readers("p"), max_batches=max_batches
+        )
+
+    @pytest.mark.parametrize("num_readers", [1, 2, 4])
+    def test_inprocess_matches_serial(self, landed_table, num_readers):
+        table, _ = landed_table(seed=1, stripe_rows=64)
+        cfg = _plain_cfg()
+        serial = self._serial(table, cfg)
+        fleet = ReaderFleet(num_readers, cfg, executor="inprocess")
+        got = fleet.run(table, "p")
+        assert serial  # the table must be big enough to mean something
+        assert_batches_identical(got, serial)
+        assert fleet.report.executor_used == "inprocess"
+
+    @pytest.mark.parametrize("num_readers", [2, 4])
+    def test_multiprocess_matches_serial(self, landed_table, num_readers):
+        table, _ = landed_table(seed=2, stripe_rows=64)
+        cfg = _plain_cfg()
+        serial = self._serial(table, cfg)
+        fleet = ReaderFleet(num_readers, cfg, executor="process")
+        got = fleet.run(table, "p")
+        assert_batches_identical(got, serial)
+        # a locked-down platform may degrade, but never at the cost of
+        # output fidelity
+        assert fleet.report.executor_used in ("process", "inprocess-fallback")
+
+    def test_dedup_config_matches_serial(self, landed_table):
+        table, _ = landed_table(clustered=True, seed=3, stripe_rows=64)
+        cfg = _dedup_cfg()
+        serial = self._serial(table, cfg)
+        fleet = ReaderFleet(3, cfg, executor="inprocess")
+        got = fleet.run(table, "p")
+        assert serial and all(b.ikjts for b in serial)
+        assert_batches_identical(got, serial)
+
+    def test_max_batches_matches_serial_prefix(self, landed_table):
+        table, _ = landed_table(seed=4, stripe_rows=64)
+        cfg = _plain_cfg()
+        serial = self._serial(table, cfg)
+        fleet = ReaderFleet(4, cfg, executor="inprocess")
+        got = fleet.run(table, "p", max_batches=3)
+        assert_batches_identical(got, serial[:3])
+
+    def test_max_batches_zero_yields_nothing(self, landed_table):
+        """The serial reader and the fleet must agree on a zero cap."""
+        table, _ = landed_table(seed=4, stripe_rows=64)
+        cfg = _plain_cfg()
+        assert self._serial(table, cfg, max_batches=0) == []
+        fleet = ReaderFleet(2, cfg, executor="inprocess")
+        assert fleet.run(table, "p", max_batches=0) == []
+
+    def test_partition_smaller_than_batch(self, landed_table):
+        table, samples = landed_table(seed=5, sessions=2)
+        cfg = _plain_cfg(batch_size=len(samples) + 10)
+        fleet = ReaderFleet(2, cfg, executor="inprocess")
+        assert fleet.run(table, "p") == []
+        assert fleet.report.merged.batches == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReaderFleet(0, _plain_cfg())
+        with pytest.raises(ValueError):
+            ReaderFleet(2, _plain_cfg(), prefetch_depth=0)
+        with pytest.raises(ValueError):
+            ReaderFleet(2, _plain_cfg(), executor="threads")
+
+
+# -- report merging ----------------------------------------------------------
+
+
+def _report(fill, convert, process, samples, batches, read_b, send_b):
+    return ReaderReport(
+        cpu=ReaderCpuBreakdown(fill=fill, convert=convert, process=process),
+        samples=samples,
+        batches=batches,
+        read_bytes=read_b,
+        send_bytes=send_b,
+    )
+
+
+class TestReportMerging:
+    def test_reader_report_merge_arithmetic(self):
+        a = _report(1.0, 2.0, 3.0, 100, 2, 10_000, 5_000)
+        b = _report(0.5, 0.25, 0.75, 60, 1, 4_000, 2_500)
+        a.merge(b)
+        assert a.cpu.fill == pytest.approx(1.5)
+        assert a.cpu.convert == pytest.approx(2.25)
+        assert a.cpu.process == pytest.approx(3.75)
+        assert a.samples == 160
+        assert a.batches == 3
+        assert a.read_bytes == 14_000
+        assert a.send_bytes == 7_500
+        assert a.samples_per_cpu_second == pytest.approx(160 / 7.5)
+
+    def test_fleet_report_merged_and_modeled_wall(self):
+        rep = FleetReport(
+            workers=[
+                _report(1.0, 0.0, 0.0, 100, 2, 1, 1),
+                _report(3.0, 0.0, 0.0, 200, 4, 2, 2),
+            ]
+        )
+        merged = rep.merged
+        assert merged.samples == 300
+        assert merged.batches == 6
+        assert merged.cpu.total == pytest.approx(4.0)
+        # the fleet finishes with its straggler (3.0s), not the sum
+        assert rep.modeled_wall_seconds == pytest.approx(3.0)
+        assert rep.modeled_samples_per_second == pytest.approx(300 / 3.0)
+
+    def test_empty_fleet_report(self):
+        rep = FleetReport()
+        assert rep.merged.samples == 0
+        assert rep.modeled_wall_seconds == 0.0
+        assert rep.modeled_samples_per_second == 0.0
+
+    def test_queue_wait_breakdown(self):
+        q = QueueWaitBreakdown(put_wait=0.5, get_wait=1.5)
+        assert q.total == pytest.approx(2.0)
+        q.merge(QueueWaitBreakdown(put_wait=0.25, get_wait=0.75))
+        assert q.put_wait == pytest.approx(0.75)
+        assert q.get_wait == pytest.approx(2.25)
+
+    def test_run_populates_worker_reports(self, landed_table):
+        table, samples = landed_table(seed=6, stripe_rows=64)
+        cfg = _plain_cfg()
+        fleet = ReaderFleet(3, cfg, executor="inprocess")
+        batches = fleet.run(table, "p")
+        rep = fleet.report
+        assert len(rep.workers) == rep.num_shards > 1
+        merged = rep.merged
+        assert merged.batches == len(batches)
+        assert merged.samples == sum(b.batch_size for b in batches)
+        assert merged.samples == cfg.batch_size * len(batches)
+        # sharding parallelism: the modeled fleet latency beats one node
+        assert rep.modeled_wall_seconds < merged.cpu.total
+        assert rep.wall_seconds > 0.0

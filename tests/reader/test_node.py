@@ -3,48 +3,17 @@
 import numpy as np
 import pytest
 
-from repro.datagen import (
-    DatasetSchema,
-    DenseFeatureSpec,
-    SparseFeatureSpec,
-    TraceConfig,
-    generate_partition,
-)
-from repro.etl import cluster_by_session
 from repro.reader import (
     DataLoaderConfig,
     ReaderNode,
     fill_batches,
     readers_required,
 )
-from repro.storage import HiveTable, TectonicFS
-
-
-def _schema():
-    return DatasetSchema(
-        sparse=(
-            SparseFeatureSpec("hist", avg_length=16, change_prob=0.05),
-            SparseFeatureSpec("item", avg_length=2, change_prob=0.9),
-        ),
-        dense=(DenseFeatureSpec("d"),),
-    )
-
-
-def _landed_table(clustered: bool, seed=0, sessions=60):
-    samples = generate_partition(_schema(), sessions, TraceConfig(seed=seed))
-    if clustered:
-        samples = cluster_by_session(samples)
-    fs = TectonicFS()
-    table = HiveTable(
-        "t", _schema(), fs, rows_per_file=4096, stripe_rows=256
-    )
-    table.land_partition("p", samples)
-    return table, samples
 
 
 class TestFillBatches:
-    def test_batches_cover_rows_in_order(self):
-        table, samples = _landed_table(False, seed=1)
+    def test_batches_cover_rows_in_order(self, landed_table):
+        table, samples = landed_table(seed=1)
         readers = table.open_readers("p")
         got = []
         for rows, _ in fill_batches(readers, 64):
@@ -53,14 +22,14 @@ class TestFillBatches:
             s.sample_id for s in samples[: len(got)]
         ]
 
-    def test_drop_last(self):
-        table, samples = _landed_table(False, seed=2)
+    def test_drop_last(self, landed_table):
+        table, samples = landed_table(seed=2)
         readers = table.open_readers("p")
         batches = list(fill_batches(readers, 50))
         assert all(len(rows) == 50 for rows, _ in batches)
 
-    def test_keep_last(self):
-        table, samples = _landed_table(False, seed=2)
+    def test_keep_last(self, landed_table):
+        table, samples = landed_table(seed=2)
         readers = table.open_readers("p")
         total = sum(
             len(rows)
@@ -68,8 +37,8 @@ class TestFillBatches:
         )
         assert total == len(samples)
 
-    def test_incremental_stats(self):
-        table, _ = _landed_table(False, seed=3)
+    def test_incremental_stats(self, landed_table):
+        table, _ = landed_table(seed=3)
         readers = table.open_readers("p")
         stats = [s for _, s in fill_batches(readers, 64)]
         assert all(s.compressed_bytes >= 0 for s in stats)
@@ -100,8 +69,8 @@ class TestReaderNode:
             transforms=("hash_modulo",),
         )
 
-    def test_pipeline_produces_batches(self):
-        table, samples = _landed_table(False, seed=4)
+    def test_pipeline_produces_batches(self, landed_table):
+        table, samples = landed_table(seed=4)
         node = ReaderNode(self._config(dedup=False))
         batches = node.run_all(table.open_readers("p"))
         assert node.report.batches == len(batches)
@@ -110,17 +79,17 @@ class TestReaderNode:
         assert node.report.read_bytes > 0
         assert node.report.send_bytes > 0
 
-    def test_max_batches(self):
-        table, _ = _landed_table(False, seed=4)
+    def test_max_batches(self, landed_table):
+        table, _ = landed_table(seed=4)
         node = ReaderNode(self._config(dedup=False))
         batches = node.run_all(table.open_readers("p"), max_batches=2)
         assert len(batches) == 2
 
-    def test_clustered_table_reduces_fill_time(self):
+    def test_clustered_table_reduces_fill_time(self, landed_table):
         """O2 at the reader: same rows, clustered -> fewer compressed bytes
         -> less fill CPU (paper: -33..50%)."""
-        base_table, _ = _landed_table(False, seed=5)
-        clus_table, _ = _landed_table(True, seed=5)
+        base_table, _ = landed_table(seed=5)
+        clus_table, _ = landed_table(clustered=True, seed=5)
         cfg = self._config(dedup=False)
         base_node, clus_node = ReaderNode(cfg), ReaderNode(cfg)
         base_node.run_all(base_table.open_readers("p"))
@@ -128,10 +97,10 @@ class TestReaderNode:
         assert clus_node.report.cpu.fill < base_node.report.cpu.fill
         assert clus_node.report.read_bytes < base_node.report.read_bytes
 
-    def test_dedup_cuts_send_bytes_and_process_time(self):
+    def test_dedup_cuts_send_bytes_and_process_time(self, landed_table):
         """O3+O4 on a clustered table: deduped output is smaller on the
         wire and cheaper to preprocess, at some convert overhead."""
-        table, _ = _landed_table(True, seed=6)
+        table, _ = landed_table(clustered=True, seed=6)
         plain, dedup = (
             ReaderNode(self._config(dedup=False)),
             ReaderNode(self._config(dedup=True)),
@@ -147,9 +116,9 @@ class TestReaderNode:
             > plain.report.samples_per_cpu_second
         )
 
-    def test_batches_functionally_identical(self):
+    def test_batches_functionally_identical(self, landed_table):
         """IKJTs encode the exact same logical data as KJTs (§6.2)."""
-        table, _ = _landed_table(True, seed=7)
+        table, _ = landed_table(clustered=True, seed=7)
         plain = ReaderNode(self._config(dedup=False)).run_all(
             table.open_readers("p"), max_batches=3
         )

@@ -4,32 +4,20 @@ trainer."""
 import numpy as np
 import pytest
 
-from repro.datagen import (
-    DatasetSchema,
-    DenseFeatureSpec,
-    SparseFeatureSpec,
-    TraceConfig,
-    generate_partition,
-)
-from repro.etl import cluster_by_session
 from repro.reader import DataLoaderConfig, apply_transforms, convert_rows
 from repro.trainer import DLRM, DLRMConfig, TrainerOptFlags
 
+from tests.conftest import make_reader_schema, make_trace
+
 
 def _schema():
-    return DatasetSchema(
-        sparse=(
-            SparseFeatureSpec("hist", avg_length=12, change_prob=0.3),
-            SparseFeatureSpec("item", avg_length=2, change_prob=0.9),
-        ),
-        dense=(DenseFeatureSpec("d"),),
-    )
+    # hist shifts often here (change_prob 0.3): the regime where partial
+    # dedup wins over exact dedup
+    return make_reader_schema(hist_avg_length=12, hist_change_prob=0.3)
 
 
 def _rows(n=48, seed=0):
-    samples = cluster_by_session(
-        generate_partition(_schema(), 20, TraceConfig(seed=seed))
-    )
+    samples = make_trace(_schema(), sessions=20, seed=seed, clustered=True)
     return samples[:n]
 
 
@@ -132,14 +120,14 @@ class TestThroughReaderNode:
         rows: land a partition, read it with a partial config, verify
         losslessness and the wire saving."""
         from repro.reader import ReaderNode
-        from repro.storage import HiveTable, TectonicFS
+
+        from tests.conftest import land_samples
 
         schema = _schema()
         samples = _rows(n=96, seed=6)
-        table = HiveTable(
-            "t", schema, TectonicFS(), rows_per_file=256, stripe_rows=32
+        table = land_samples(
+            schema, samples, rows_per_file=256, stripe_rows=32
         )
-        table.land_partition("p", samples)
 
         cfg = DataLoaderConfig(
             batch_size=48,

@@ -2,14 +2,10 @@
 
 import pytest
 
-from repro.datagen import (
-    DatasetSchema,
-    SparseFeatureSpec,
-    TraceConfig,
-    generate_partition,
-)
-from repro.reader import DataLoaderConfig, ReaderNode, ReaderTier
-from repro.storage import HiveTable, TectonicFS
+from repro.datagen import DatasetSchema, SparseFeatureSpec
+from repro.reader import DataLoaderConfig, ReaderTier
+
+from tests.conftest import land_samples, make_trace
 
 
 def _schema():
@@ -19,10 +15,9 @@ def _schema():
 
 
 def _table(seed=0):
-    samples = generate_partition(_schema(), 40, TraceConfig(seed=seed))
-    fs = TectonicFS()
-    table = HiveTable("t", _schema(), fs, rows_per_file=128, stripe_rows=32)
-    table.land_partition("p", samples)
+    schema = _schema()
+    samples = make_trace(schema, sessions=40, seed=seed)
+    table = land_samples(schema, samples, rows_per_file=128, stripe_rows=32)
     return table, samples
 
 

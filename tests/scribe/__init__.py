@@ -1,0 +1,1 @@
+"""Test package (enables absolute + relative imports across test modules)."""
