@@ -1,0 +1,120 @@
+#!/usr/bin/env python
+"""Fail when reader-fleet scaling throughput regresses vs committed results.
+
+Compares the freshly generated ``benchmarks/results/fleet_scaling.json``
+(written by ``pytest benchmarks/test_fleet_scaling.py``) against the copy
+committed to git (``git show HEAD:...``, or an explicit ``--baseline``
+file).  The compared numbers are *modeled* throughputs — deterministic
+functions of the code and generated data, not of machine load — so a
+drop means a real code regression, not noise.  Exits non-zero when any
+tracked metric drops more than ``--threshold`` (default 20%).
+
+Usage::
+
+    python -m pytest benchmarks/test_fleet_scaling.py -q
+    python benchmarks/check_regression.py [--threshold 0.2]
+    python benchmarks/check_regression.py --baseline old.json --current new.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+RESULTS = pathlib.Path(__file__).parent / "results" / "fleet_scaling.json"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+GIT_PATH = "benchmarks/results/fleet_scaling.json"
+
+
+def load_baseline(path: str | None) -> dict:
+    if path is not None:
+        return json.loads(pathlib.Path(path).read_text())
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{GIT_PATH}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        sys.exit(
+            f"error: no committed baseline at HEAD:{GIT_PATH} "
+            f"({proc.stderr.strip()}); pass --baseline explicitly"
+        )
+    return json.loads(proc.stdout)
+
+
+def tracked_metrics(doc: dict) -> dict[str, float]:
+    """The throughput numbers the gate watches, flattened."""
+    out = {
+        "serial.samples_per_cpu_second": doc["serial"][
+            "samples_per_cpu_second"
+        ]
+    }
+    for width, rep in sorted(doc.get("fleet", {}).items(), key=lambda kv: int(kv[0])):
+        out[f"fleet[{width}].modeled_samples_per_second"] = rep[
+            "modeled_samples_per_second"
+        ]
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        help="baseline JSON (default: the committed copy, via git show)",
+    )
+    parser.add_argument(
+        "--current",
+        default=str(RESULTS),
+        help="freshly generated JSON (default: benchmarks/results/)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="max allowed fractional drop (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+
+    current_path = pathlib.Path(args.current)
+    if not current_path.exists():
+        sys.exit(
+            f"error: {current_path} not found — run "
+            "`python -m pytest benchmarks/test_fleet_scaling.py` first"
+        )
+    baseline = tracked_metrics(load_baseline(args.baseline))
+    current = tracked_metrics(json.loads(current_path.read_text()))
+
+    failures = []
+    for key, base_value in baseline.items():
+        if key not in current:
+            failures.append(f"{key}: missing from current results")
+            continue
+        now = current[key]
+        drop = 0.0 if base_value == 0 else (base_value - now) / base_value
+        status = "FAIL" if drop > args.threshold else "ok"
+        print(
+            f"{status:4s} {key:45s} baseline {base_value:12,.0f} "
+            f"current {now:12,.0f} ({-drop:+.1%})"
+        )
+        if drop > args.threshold:
+            failures.append(
+                f"{key}: {now:,.0f} is {drop:.1%} below baseline "
+                f"{base_value:,.0f} (threshold {args.threshold:.0%})"
+            )
+    if failures:
+        print(
+            "\nthroughput regression vs committed results:\n  "
+            + "\n  ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    print("\nno regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,6 @@ Paper: downsampling per *session* instead of per sample raises S (and so
 every DedupeFactor) at equal retained volume, without accuracy impact.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import JaggedTensor, measured_dedupe_factor

@@ -8,8 +8,6 @@ band as overlap grows — quantifying that the gap is an overlap-modeling
 artifact, not a dedup-accounting one.
 """
 
-import pytest
-
 from repro.datagen import TraceConfig, generate_partition, rm1
 from repro.distributed import (
     DistributedTrainer,

@@ -7,7 +7,6 @@ little value savings.
 """
 
 import numpy as np
-import pytest
 
 from repro.core import (
     FeatureDedupStats,

@@ -9,6 +9,8 @@ cost (aggregate CPU) and the fleet-level win (modeled wall-clock =
 slowest shard, how the parallel tier actually finishes).
 """
 
+import json
+
 from repro.datagen import TraceConfig, TraceGenerator, rm1
 from repro.reader import ReaderFleet, ReaderNode
 from repro.storage import HiveTable, TectonicFS
@@ -26,7 +28,7 @@ def _landed_rm1_table(num_sessions=400, seed=0):
     return w, table
 
 
-def test_fleet_scaling(benchmark, emit):
+def test_fleet_scaling(benchmark, emit, results_dir):
     w, table = _landed_rm1_table()
     cfg_kwargs = dict(
         sparse_features=tuple(w.schema.sparse_names),
@@ -79,6 +81,30 @@ def test_fleet_scaling(benchmark, emit):
             f"get {rep.queue.get_wait * 1e3:.0f} ms"
         )
     emit("Reader-fleet scaling (serial vs sharded workers)", lines)
+
+    # machine-readable mirror of the text block: the regression gate
+    # (benchmarks/check_regression.py) compares these modeled-throughput
+    # numbers — deterministic given code + data — against the committed
+    # copy, so a code change that slows the modeled fleet fails CI
+    payload = {
+        "serial": {
+            "samples": serial.samples,
+            "samples_per_cpu_second": serial_qps,
+            "modeled_wall_seconds": serial.cpu.total,
+        },
+        "fleet": {
+            str(n): {
+                "samples": rep.merged.samples,
+                "samples_per_cpu_second": rep.merged.samples_per_cpu_second,
+                "modeled_samples_per_second": rep.modeled_samples_per_second,
+                "speedup_vs_serial": speedups[n],
+            }
+            for n, rep in res["fleet"].items()
+        },
+    }
+    (results_dir / "fleet_scaling.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
 
     # every fleet width processes exactly the serial sample count
     for rep in res["fleet"].values():

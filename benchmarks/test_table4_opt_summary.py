@@ -13,7 +13,6 @@ from repro.pipeline import (
     PipelineConfig,
     RecDToggles,
     fig9_ablation,
-    land_table,
     run_pipeline,
 )
 

@@ -9,8 +9,6 @@ trace.
 Run:  python examples/feature_selection.py
 """
 
-import numpy as np
-
 from repro.core import (
     DEFAULT_DEDUPE_THRESHOLD,
     FeatureDedupStats,

@@ -172,11 +172,18 @@ def _cmd_pipeline(args) -> int:
             seed=args.seed,
             num_readers=args.num_readers,
             prefetch_depth=args.prefetch_depth,
+            num_partitions=args.num_partitions,
+            train_epochs=args.train_epochs,
+            streaming=args.streaming,
         )
     )
     mode = "RecD" if args.recd else "baseline"
     print(f"{args.rm} ({mode}):")
     print(f"  samples landed      : {res.samples_landed}")
+    print(
+        f"  partitions          : {len(res.partitions)} "
+        f"({res.partition.num_rows} rows), {res.config.train_epochs} epoch(s)"
+    )
     print(f"  scribe compression  : {res.scribe_compression:.2f}x")
     print(f"  storage compression : {res.storage_compression:.2f}x")
     print(f"  reader throughput   : {res.reader_qps:,.0f} samples/cpu-s")
@@ -189,6 +196,16 @@ def _cmd_pipeline(args) -> int:
             f"{fleet.modeled_wall_seconds * 1e3:.1f} ms, queue wait "
             f"put {fleet.queue.put_wait * 1e3:.1f} ms / "
             f"get {fleet.queue.get_wait * 1e3:.1f} ms"
+        )
+    ov = res.overlap
+    if ov is not None:
+        mode = "streaming" if ov.streaming else "materialized"
+        print(
+            f"  overlap ({mode[:6]})  : reader-stall "
+            f"{100 * ov.reader_stall_fraction:.1f}% / trainer "
+            f"{100 * ov.trainer_stall_fraction:.1f}% / other "
+            f"{100 * ov.other_fraction:.1f}% of "
+            f"{ov.wall_seconds * 1e3:.1f} ms wall"
         )
     return 0
 
@@ -234,6 +251,15 @@ def build_parser() -> argparse.ArgumentParser:
                            help="reader-fleet width (sharded workers)")
             p.add_argument("--prefetch-depth", type=int, default=2,
                            help="bounded prefetch per reader worker")
+            p.add_argument("--num-partitions", type=int, default=1,
+                           help="time partitions the table lands as")
+            p.add_argument("--train-epochs", type=int, default=1,
+                           help="epochs over the landed partitions")
+            p.add_argument("--streaming",
+                           action=argparse.BooleanOptionalAction,
+                           default=True,
+                           help="stream reader batches into the trainers "
+                                "(--no-streaming materializes first)")
     return parser
 
 

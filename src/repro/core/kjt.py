@@ -15,8 +15,6 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 
-import numpy as np
-
 from .jagged import JaggedTensor
 
 __all__ = ["KeyedJaggedTensor"]

@@ -88,11 +88,13 @@ def simulate_feature_duplication(
     exact_dups = (sizes - runs).sum()
     exact_fraction = float(exact_dups) / total_samples
 
-    l = max(spec.avg_length, 1)
+    length = max(spec.avg_length, 1)
     if spec.kind is FeatureKind.USER:
-        unique_ids = np.minimum(l + changes, sizes * l)
-        partial_dups = (sizes * l - unique_ids).sum()
-        partial_fraction = float(partial_dups) / float(total_samples * l)
+        unique_ids = np.minimum(length + changes, sizes * length)
+        partial_dups = (sizes * length - unique_ids).sum()
+        partial_fraction = float(partial_dups) / float(
+            total_samples * length
+        )
     else:
         # fresh lists on change: no cross-value ID sharing beyond runs
         partial_fraction = exact_fraction

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .schema import DatasetSchema, FeatureKind, SparseFeatureSpec
+from .schema import DatasetSchema, SparseFeatureSpec
 from .session import Sample, sample_session_sizes
 
 __all__ = ["TraceConfig", "TraceGenerator", "generate_partition"]

@@ -17,6 +17,8 @@ Per-iteration phases (Fig 6):
 
 from __future__ import annotations
 
+import time
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from ..metrics.breakdown import IterationBreakdown
@@ -48,9 +50,32 @@ class IterationResult:
 
 @dataclass
 class TrainingReport:
-    """Aggregates over a training run."""
+    """Aggregates over a training run.
+
+    Besides the modeled per-iteration results, the report keeps three
+    *measured* wall-clock tallies from :meth:`DistributedTrainer.run`'s
+    ingestion loop — the raw material for the pipeline's
+    :class:`~repro.metrics.OverlapReport`:
+
+    * ``ingest_wait_seconds`` — time blocked pulling the next batch from
+      the input iterator.  Streaming from a reader fleet, this is the
+      trainer starving on the readers (reader-stall).
+    * ``step_wall_seconds`` — time inside ``run_iteration`` calls; while
+      the trainer computes, upstream readers can only run ahead as far
+      as their bounded prefetch queues allow (trainer-stall upstream).
+    * ``run_wall_seconds`` — the whole ingestion loop, accumulating
+      across epochs when ``run`` is called once per epoch.
+    """
 
     iterations: list[IterationResult] = field(default_factory=list)
+    ingest_wait_seconds: float = 0.0
+    step_wall_seconds: float = 0.0
+    run_wall_seconds: float = 0.0
+
+    @property
+    def losses(self) -> list[float]:
+        """Per-iteration losses (the bit-identity fingerprint)."""
+        return [r.loss for r in self.iterations]
 
     @property
     def mean_samples_per_second(self) -> float:
@@ -228,7 +253,31 @@ class DistributedTrainer:
         self.report.iterations.append(result)
         return result
 
-    def run(self, batches: list[Batch], track_updates: bool = False) -> TrainingReport:
-        for batch in batches:
+    def run(
+        self, batches: Iterable[Batch], track_updates: bool = False
+    ) -> TrainingReport:
+        """Train over any batch source — a list or a live iterator.
+
+        Fed a reader fleet's lazy batch stream, the trainer ingests while
+        the readers decode ahead (the paper's reader→trainer overlap);
+        the time blocked in ``next()`` vs inside steps is measured into
+        the report so the pipeline can attribute wall-clock to
+        reader-stall vs trainer-stall.  The functional results are
+        bit-identical for any batch source with the same contents.
+        """
+        rep = self.report
+        run_started = time.perf_counter()
+        it = iter(batches)
+        while True:
+            t0 = time.perf_counter()
+            try:
+                batch = next(it)
+            except StopIteration:
+                rep.ingest_wait_seconds += time.perf_counter() - t0
+                break
+            rep.ingest_wait_seconds += time.perf_counter() - t0
+            t1 = time.perf_counter()
             self.run_iteration(batch, track_updates=track_updates)
-        return self.report
+            rep.step_wall_seconds += time.perf_counter() - t1
+        rep.run_wall_seconds += time.perf_counter() - run_started
+        return rep

@@ -6,11 +6,13 @@ from .breakdown import (
     ReaderCpuBreakdown,
 )
 from .counters import Counters, MemoryTracker
+from .overlap import OverlapReport
 
 __all__ = [
     "Counters",
     "MemoryTracker",
     "IterationBreakdown",
+    "OverlapReport",
     "QueueWaitBreakdown",
     "ReaderCpuBreakdown",
 ]

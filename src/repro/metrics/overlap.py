@@ -1,0 +1,119 @@
+"""Reader→trainer overlap accounting for the streaming pipeline.
+
+When ``run_pipeline`` streams a reader fleet's batches straight into the
+trainers (instead of materializing them first), the end-to-end loop's
+wall-clock belongs to whichever tier was the bottleneck at each moment.
+:class:`OverlapReport` attributes it from two measured signals:
+
+* the trainer's ingestion-loop timing (``ingest_wait_seconds`` — blocked
+  pulling the next batch — vs ``step_wall_seconds`` — computing), and
+* the fleet's :class:`~repro.metrics.breakdown.QueueWaitBreakdown`
+  (``get_wait`` corroborates reader-side starvation; ``put_wait`` shows
+  readers running ahead of downstream consumption).
+
+This is the §2.1 provisioning signal at pipeline granularity: a large
+``reader_stall_fraction`` means the reader tier is under-provisioned for
+these trainers (add readers / enable O3–O4); a large
+``trainer_stall_fraction`` with non-trivial ``queue.put_wait`` means the
+readers outrun the trainers (shrink the fleet or grow the trainer job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .breakdown import QueueWaitBreakdown
+
+__all__ = ["OverlapReport"]
+
+
+@dataclass
+class OverlapReport:
+    """Wall-clock attribution for one streamed (or materialized) run.
+
+    ``reader_stall_seconds + trainer_busy_seconds + other_seconds``
+    equals ``wall_seconds`` by construction, so the three fractions sum
+    to 1 whenever any wall-clock elapsed.
+    """
+
+    #: end-to-end ingestion-loop wall time (across every epoch)
+    wall_seconds: float = 0.0
+    #: trainer blocked waiting on the next batch — the readers are the
+    #: bottleneck during this slice (reader-stall)
+    reader_stall_seconds: float = 0.0
+    #: trainer busy inside steps — upstream readers can only prefetch
+    #: into bounded queues during this slice (trainer-stall upstream)
+    trainer_busy_seconds: float = 0.0
+    #: the fleet's prefetch-queue waits, merged across epochs
+    queue: QueueWaitBreakdown = field(default_factory=QueueWaitBreakdown)
+    batches: int = 0
+    #: whether batches streamed straight from the readers (True) or were
+    #: materialized to a list first (the A/B baseline)
+    streaming: bool = True
+
+    @property
+    def other_seconds(self) -> float:
+        """Wall-clock outside the trainer's ingestion loop: loop
+        overhead, and — in the materialized A/B mode — the serialized
+        reader scan that streaming would have overlapped away."""
+        return max(
+            0.0,
+            self.wall_seconds
+            - self.reader_stall_seconds
+            - self.trainer_busy_seconds,
+        )
+
+    @property
+    def reader_stall_fraction(self) -> float:
+        """Fraction of wall-clock spent starved on the reader tier."""
+        if self.wall_seconds == 0:
+            return 0.0
+        return self.reader_stall_seconds / self.wall_seconds
+
+    @property
+    def trainer_stall_fraction(self) -> float:
+        """Fraction of wall-clock the trainer held the pipeline."""
+        if self.wall_seconds == 0:
+            return 0.0
+        return self.trainer_busy_seconds / self.wall_seconds
+
+    @property
+    def other_fraction(self) -> float:
+        if self.wall_seconds == 0:
+            return 0.0
+        return self.other_seconds / self.wall_seconds
+
+    @property
+    def fractions(self) -> dict[str, float]:
+        """The attribution summands (sum to 1 when wall-clock elapsed)."""
+        return {
+            "reader_stall": self.reader_stall_fraction,
+            "trainer_stall": self.trainer_stall_fraction,
+            "other": self.other_fraction,
+        }
+
+    @classmethod
+    def from_run(
+        cls,
+        training,
+        queue: QueueWaitBreakdown | None = None,
+        wall_seconds: float | None = None,
+        streaming: bool = True,
+    ) -> "OverlapReport":
+        """Build from a ``TrainingReport``'s measured ingestion-loop
+        timing plus the fleet's queue waits."""
+        merged_queue = QueueWaitBreakdown()
+        if queue is not None:
+            merged_queue.merge(queue)
+        return cls(
+            wall_seconds=(
+                training.run_wall_seconds
+                if wall_seconds is None
+                else wall_seconds
+            ),
+            reader_stall_seconds=training.ingest_wait_seconds,
+            trainer_busy_seconds=training.step_wall_seconds,
+            queue=merged_queue,
+            batches=len(training.iterations),
+            streaming=streaming,
+        )

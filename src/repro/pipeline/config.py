@@ -85,12 +85,25 @@ class PipelineConfig:
     num_readers: int = 1
     #: bounded prefetch per reader worker (2 = double buffering)
     prefetch_depth: int = 2
+    #: how many time partitions the generated table lands as (the
+    #: paper's day-partitioned training tables); an epoch scans them all
+    num_partitions: int = 1
+    #: epochs the trainer runs over the landed partitions
+    train_epochs: int = 1
+    #: stream reader batches straight into the trainers (overlapping
+    #: decode with training steps) instead of materializing them first;
+    #: both paths are bit-identical — the knob exists for A/B timing
+    streaming: bool = True
 
     def __post_init__(self) -> None:
         if self.num_readers <= 0:
             raise ValueError("num_readers must be positive")
         if self.prefetch_depth <= 0:
             raise ValueError("prefetch_depth must be positive")
+        if self.num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        if self.train_epochs <= 0:
+            raise ValueError("train_epochs must be positive")
 
     @property
     def effective_batch_size(self) -> int:

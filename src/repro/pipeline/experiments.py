@@ -413,9 +413,9 @@ def table3_reader_bytes(
             batch_size=B,
             seed=seed,
         )
-        table, _, _, partition, _ = land_table(cfg)
+        table, _, _, partitions, _ = land_table(cfg)
         if fixed_batches is None:
-            fixed_batches = partition.num_rows // B
+            fixed_batches = partitions[0].num_rows // B
         node = ReaderNode(cfg.dataloader_config())
         node.run_all(table.open_readers("p0"), max_batches=fixed_batches)
         rows.append(

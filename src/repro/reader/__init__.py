@@ -17,7 +17,7 @@ from .preprocess import (
     TruncateLength,
     apply_transforms,
 )
-from .shard import RowRangeShard, covering_files, plan_shards
+from .shard import RowRangeShard, covering_files, plan_epoch, plan_shards
 from .tier import ReaderTier, TierPlan, readers_required
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "ReaderReport",
     "RowRangeShard",
     "covering_files",
+    "plan_epoch",
     "plan_shards",
     "SparseTransform",
     "HashModulo",

@@ -8,7 +8,7 @@ materialized (the job does not use them).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["DataLoaderConfig"]
 

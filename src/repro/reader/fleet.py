@@ -17,6 +17,17 @@ Hive/DWRF partition:
 * per-worker :class:`~repro.reader.node.ReaderReport`\\ s plus queue-wait
   accounting merge into one :class:`FleetReport`.
 
+:meth:`ReaderFleet.iter_epoch` runs the same machinery over a
+*multi-partition epoch*: :func:`~repro.reader.shard.plan_epoch` shards
+every partition in order, and the fleet drains the global shard sequence
+keeping at most ``num_readers`` worker processes in flight (workers for
+later shards — including later partitions' — launch as earlier shards
+finish, so prefetch overlaps partition boundaries).  Output order stays
+bit-identical to scanning the partitions serially.  Both entry points
+return lazy iterators: a consumer that trains while iterating overlaps
+reader decode with trainer steps, which is what the pipeline's streaming
+mode does.
+
 Two executors share this plan.  ``"process"`` runs workers as real
 ``multiprocessing`` processes — actual CPU parallelism, the production
 shape.  ``"inprocess"`` runs the same shards sequentially in the calling
@@ -30,7 +41,7 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_lib
 import time
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 
 from ..metrics.breakdown import QueueWaitBreakdown
@@ -40,7 +51,7 @@ from .batch import Batch
 from .config import DataLoaderConfig
 from .costmodel import ReaderCostModel
 from .node import ReaderNode, ReaderReport
-from .shard import RowRangeShard, covering_files, plan_shards
+from .shard import RowRangeShard, covering_files, plan_epoch
 
 __all__ = ["FleetReport", "ReaderFleet"]
 
@@ -81,6 +92,18 @@ class FleetReport:
         if wall == 0:
             return 0.0
         return self.merged.samples / wall
+
+    def merge(self, other: "FleetReport") -> None:
+        """Fold another run's measurements in (epoch aggregation)."""
+        was_empty = not self.workers and self.num_shards == 0
+        if was_empty or self.executor_used == other.executor_used:
+            self.executor_used = other.executor_used
+        else:
+            self.executor_used = "mixed"
+        self.workers.extend(other.workers)
+        self.queue.merge(other.queue)
+        self.num_shards += other.num_shards
+        self.wall_seconds += other.wall_seconds
 
 
 def _fleet_worker(
@@ -152,30 +175,69 @@ class ReaderFleet:
         order and leaves the merged measurements in ``self.report``."""
         return list(self.iter_batches(table, partition, max_batches))
 
+    def run_epoch(
+        self,
+        table: HiveTable,
+        partitions: Sequence[str],
+        max_batches: int | None = None,
+    ) -> list[Batch]:
+        """Materialized :meth:`iter_epoch` (tests and small experiments)."""
+        return list(self.iter_epoch(table, partitions, max_batches))
+
     def iter_batches(
         self,
         table: HiveTable,
         partition: str,
         max_batches: int | None = None,
     ) -> Iterator[Batch]:
-        """Stream the fleet's batches in deterministic (serial) order."""
-        info = table.partitions[partition]
-        shards = plan_shards(
-            info.num_rows,
+        """Stream one partition's batches in deterministic (serial) order."""
+        return self.iter_epoch(table, [partition], max_batches=max_batches)
+
+    def iter_epoch(
+        self,
+        table: HiveTable,
+        partitions: Sequence[str],
+        max_batches: int | None = None,
+    ) -> Iterator[Batch]:
+        """Stream one epoch over ``partitions``, in deterministic order.
+
+        The epoch's global batch order is bit-identical to scanning each
+        partition serially in the order given; ``max_batches`` caps the
+        whole epoch.  At most ``num_readers`` worker processes run at any
+        moment — workers for later shards (and partitions) launch as
+        earlier shards drain, so decode overlaps partition boundaries and
+        whatever the consumer does between ``next()`` calls.
+        """
+        infos = [table.partitions[p] for p in partitions]
+        plan = plan_epoch(
+            [(p, info.num_rows) for p, info in zip(partitions, infos)],
             self.config.batch_size,
             self.num_readers,
             max_batches=max_batches,
         )
-        self.report = FleetReport(num_shards=len(shards))
+        planned = [
+            (info, shards)
+            for (_, shards), info in zip(plan, infos)
+            if shards
+        ]
+        total_shards = sum(len(shards) for _, shards in planned)
+        self.report = FleetReport(num_shards=total_shards)
         started = time.perf_counter()
+
+        def sources() -> Iterator[tuple[RowRangeShard, list[bytes], int, int]]:
+            for info, shards in planned:
+                yield from self._shard_sources(table, info, shards)
+
         executor = self.executor
         if executor == "auto":
-            executor = "process" if len(shards) > 1 else "inprocess"
+            executor = "process" if total_shards > 1 else "inprocess"
         try:
             if executor == "process":
                 emitted = 0
                 try:
-                    for batch in self._iter_multiprocess(table, info, shards):
+                    for batch in self._iter_multiprocess(
+                        table.schema, sources()
+                    ):
                         emitted += 1
                         yield batch
                 except OSError:
@@ -186,12 +248,12 @@ class ReaderFleet:
                     if emitted:
                         raise
                     self.report = FleetReport(
-                        num_shards=len(shards),
+                        num_shards=total_shards,
                         executor_used="inprocess-fallback",
                     )
-                    yield from self._iter_inprocess(table, info, shards)
+                    yield from self._iter_inprocess(table.schema, sources())
             else:
-                yield from self._iter_inprocess(table, info, shards)
+                yield from self._iter_inprocess(table.schema, sources())
         finally:
             self.report.wall_seconds = time.perf_counter() - started
 
@@ -217,14 +279,14 @@ class ReaderFleet:
             )
 
     def _iter_inprocess(
-        self, table: HiveTable, info, shards: list[RowRangeShard]
+        self,
+        schema,
+        sources: Iterable[tuple[RowRangeShard, list[bytes], int, int]],
     ) -> Iterator[Batch]:
         if self.report.executor_used != "inprocess-fallback":
             self.report.executor_used = "inprocess"
-        for _, blobs, local_start, local_stop in self._shard_sources(
-            table, info, shards
-        ):
-            readers = [DwrfReader(blob, table.schema) for blob in blobs]
+        for _, blobs, local_start, local_stop in sources:
+            readers = [DwrfReader(blob, schema) for blob in blobs]
             node = ReaderNode(self.config, self.cost_model)
             yield from node.run(
                 readers, row_start=local_start, row_stop=local_stop
@@ -232,7 +294,9 @@ class ReaderFleet:
             self.report.workers.append(node.report)
 
     def _iter_multiprocess(
-        self, table: HiveTable, info, shards: list[RowRangeShard]
+        self,
+        schema,
+        sources: Iterable[tuple[RowRangeShard, list[bytes], int, int]],
     ) -> Iterator[Batch]:
         self.report.executor_used = "process"
         ctx = multiprocessing.get_context(
@@ -240,21 +304,28 @@ class ReaderFleet:
             if "fork" in multiprocessing.get_all_start_methods()
             else "spawn"
         )
-        procs: list = []
-        queues: list = []
-        # One bounded queue per worker: each worker prefetches at most
-        # prefetch_depth batches ahead of the merge loop (double
+        source_iter = iter(sources)
+        # (proc, queue) pairs in shard order, launched but not yet
+        # drained.  One bounded queue per worker: each worker prefetches
+        # at most prefetch_depth batches ahead of the merge loop (double
         # buffering at the default depth of 2), and the merge loop drains
-        # workers in shard order so output order is deterministic.
-        for shard, blobs, local_start, local_stop in self._shard_sources(
-            table, info, shards
-        ):
+        # workers in shard order so output order is deterministic.  The
+        # window holds at most num_readers live workers — the fleet's
+        # width — so a long multi-partition epoch launches later shards'
+        # workers only as earlier shards finish.
+        active: list[tuple] = []
+
+        def launch_one() -> bool:
+            try:
+                shard, blobs, local_start, local_stop = next(source_iter)
+            except StopIteration:
+                return False
             queue = ctx.Queue(maxsize=self.prefetch_depth)
             proc = ctx.Process(
                 target=_fleet_worker,
                 args=(
                     blobs,
-                    table.schema,
+                    schema,
                     self.config,
                     self.cost_model,
                     local_start,
@@ -265,10 +336,16 @@ class ReaderFleet:
                 name=f"reader-shard-{shard.index}",
             )
             proc.start()
-            procs.append(proc)
-            queues.append(queue)
+            active.append((proc, queue))
+            return True
+
+        finished: list = []
         try:
-            for proc, queue in zip(procs, queues):
+            for _ in range(self.num_readers):
+                if not launch_one():
+                    break
+            while active:
+                proc, queue = active[0]
                 while True:
                     t0 = time.perf_counter()
                     item = self._get(queue, proc)
@@ -281,10 +358,16 @@ class ReaderFleet:
                     if isinstance(item, tuple) and item and item[0] == _ERROR:
                         raise RuntimeError(f"reader worker failed: {item[1]}")
                     yield item
-            for proc in procs:
+                # Drained workers are joined only after the last batch is
+                # out — a worker that lingers past its _DONE sentinel must
+                # never delay the next shard's delivery.
+                active.pop(0)
+                finished.append(proc)
+                launch_one()  # keep the fleet at its full width
+            for proc in finished:
                 proc.join(timeout=_WORKER_JOIN_TIMEOUT)
         finally:
-            for proc in procs:
+            for proc in [p for p, _ in active] + finished:
                 if proc.is_alive():
                     proc.terminate()
                     proc.join(timeout=5.0)

@@ -13,13 +13,23 @@ would have dropped.
 :func:`covering_files` then maps a shard window to the subset of a
 partition's files it actually touches, so a multiprocessing worker ships
 only those files' bytes.
+
+:func:`plan_epoch` extends the plan across *multiple* partitions: one
+epoch visits every partition in the order given, sharding each one
+batch-aligned exactly as :func:`plan_shards` would, with globally
+increasing shard indices and one shared ``max_batches`` budget spent in
+partition order.  Batches never span a partition boundary (each
+partition's sub-batch tail is dropped where the serial reader would drop
+it), so draining an epoch plan in shard order is bit-identical to
+scanning the partitions serially one after another.
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
 
-__all__ = ["RowRangeShard", "plan_shards", "covering_files"]
+__all__ = ["RowRangeShard", "plan_shards", "plan_epoch", "covering_files"]
 
 
 @dataclass(frozen=True)
@@ -89,6 +99,47 @@ def plan_shards(
         shards.append(RowRangeShard(i, row, stop))
         row = stop
     return shards
+
+
+def plan_epoch(
+    partition_rows: Sequence[tuple[str, int]],
+    batch_size: int,
+    num_shards: int,
+    max_batches: int | None = None,
+) -> list[tuple[str, list[RowRangeShard]]]:
+    """Shard one epoch over several partitions, in the order given.
+
+    Returns ``[(partition, shards), ...]`` where each partition's shards
+    come from :func:`plan_shards` re-indexed so shard indices increase
+    globally across the epoch — the order a fleet's merge loop drains.
+    ``max_batches`` is a whole-epoch budget consumed in partition order:
+    once it is exhausted, later partitions contribute no shards.
+
+    A partition that cannot fill a single batch contributes no shards
+    either: its rows would all be dropped by ``drop_last`` anyway, so
+    the batch stream is unchanged and no worker is spawned to scan it.
+    """
+    remaining = max_batches
+    plan: list[tuple[str, list[RowRangeShard]]] = []
+    next_index = 0
+    for name, num_rows in partition_rows:
+        if (remaining is not None and remaining <= 0) or (
+            num_rows < batch_size
+        ):
+            plan.append((name, []))
+            continue
+        shards = plan_shards(
+            num_rows, batch_size, num_shards, max_batches=remaining
+        )
+        if remaining is not None:
+            remaining -= sum(s.num_rows // batch_size for s in shards)
+        reindexed = [
+            RowRangeShard(next_index + i, s.row_start, s.row_stop)
+            for i, s in enumerate(shards)
+        ]
+        next_index += len(reindexed)
+        plan.append((name, reindexed))
+    return plan
 
 
 def covering_files(

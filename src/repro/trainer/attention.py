@@ -151,8 +151,8 @@ class TransformerPooling(PoolingModule):
         E = np.exp(S)
         A = E / np.maximum(E.sum(axis=-1, keepdims=True), 1e-30)
         Z = A @ V
-        O = Z @ self.Wo.value
-        Y = X + O
+        proj = Z @ self.Wo.value
+        Y = X + proj
         U = Y @ self.W1.value + self.b1.value
         F1 = np.maximum(U, 0.0)
         F = F1 @ self.W2.value + self.b2.value

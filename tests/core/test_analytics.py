@@ -59,12 +59,12 @@ class TestValidation:
     st.floats(min_value=1.0, max_value=100.0),
     st.floats(min_value=0.0, max_value=1.0),
 )
-def test_property_factor_bounds(l, b, s, d):
+def test_property_factor_bounds(length, b, s, d):
     """1 <= DedupeFactor <= S always, monotone in d."""
-    f = dedupe_factor(l, b, s, d)
+    f = dedupe_factor(length, b, s, d)
     assert 1.0 - 1e-9 <= f <= s + 1e-9
     if d < 0.99:
-        assert dedupe_factor(l, b, s, min(1.0, d + 0.01)) >= f - 1e-12
+        assert dedupe_factor(length, b, s, min(1.0, d + 0.01)) >= f - 1e-12
 
 
 @given(

@@ -235,3 +235,56 @@ class TestDistributedTrainer:
         trainer = DistributedTrainer(model, sim_cluster())
         assert trainer.report.mean_samples_per_second == 0.0
         assert trainer.report.max_mem_util == 0.0
+
+
+class TestStreamingIngestion:
+    """run() over any iterator must equal run() over the same list."""
+
+    def _trainer(self, w, seed=7):
+        model = DLRM(
+            list(w.schema.sparse),
+            DLRMConfig.from_workload(w, max_table_rows=500, seed=seed),
+            TrainerOptFlags.baseline(),
+        )
+        return DistributedTrainer(model, sim_cluster(num_gpus=48))
+
+    def test_iterator_matches_list(self):
+        w = rm1(scale=0.5)
+        batches = _batches(w, False, w.baseline_batch_size, n=3, seed=8)
+        over_list = self._trainer(w).run(batches)
+        over_iter = self._trainer(w).run(iter(batches))
+        assert over_iter.losses == over_list.losses
+        assert (
+            over_iter.mean_samples_per_second
+            == over_list.mean_samples_per_second
+        )
+        assert len(over_iter.iterations) == len(over_list.iterations) == 3
+
+    def test_generator_source(self):
+        w = rm1(scale=0.5)
+        batches = _batches(w, False, w.baseline_batch_size, n=2, seed=9)
+        over_list = self._trainer(w).run(batches)
+        over_gen = self._trainer(w).run(b for b in batches)
+        assert over_gen.losses == over_list.losses
+
+    def test_ingestion_timing_recorded(self):
+        w = rm1(scale=0.5)
+        batches = _batches(w, False, w.baseline_batch_size, n=2, seed=10)
+        rep = self._trainer(w).run(iter(batches))
+        assert rep.step_wall_seconds > 0.0
+        assert rep.ingest_wait_seconds >= 0.0
+        assert (
+            rep.run_wall_seconds
+            >= rep.ingest_wait_seconds + rep.step_wall_seconds
+        )
+
+    def test_timing_accumulates_across_runs(self):
+        """Epoch loops call run() once per epoch on one trainer."""
+        w = rm1(scale=0.5)
+        batches = _batches(w, False, w.baseline_batch_size, n=1, seed=11)
+        trainer = self._trainer(w)
+        trainer.run(batches)
+        first_wall = trainer.report.run_wall_seconds
+        trainer.run(batches)
+        assert len(trainer.report.iterations) == 2
+        assert trainer.report.run_wall_seconds > first_wall

@@ -20,8 +20,6 @@ from repro.etl import (
     samples_per_session,
 )
 from repro.scribe import (
-    EventLogRecord,
-    FeatureLogRecord,
     ScribeCluster,
     ShardKeyPolicy,
     split_sample,

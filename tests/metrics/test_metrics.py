@@ -1,4 +1,4 @@
-"""Tests for counters, memory tracking, and breakdowns."""
+"""Tests for counters, memory tracking, breakdowns, and overlap."""
 
 import pytest
 
@@ -6,6 +6,8 @@ from repro.metrics import (
     Counters,
     IterationBreakdown,
     MemoryTracker,
+    OverlapReport,
+    QueueWaitBreakdown,
     ReaderCpuBreakdown,
 )
 
@@ -97,3 +99,62 @@ class TestBreakdowns:
     def test_zero_baseline_safe(self):
         norm = ReaderCpuBreakdown().normalized_to(ReaderCpuBreakdown())
         assert norm["total"] == 0.0
+
+
+class TestOverlapReport:
+    def test_attribution_arithmetic(self):
+        ov = OverlapReport(
+            wall_seconds=10.0,
+            reader_stall_seconds=3.0,
+            trainer_busy_seconds=6.0,
+            batches=4,
+        )
+        assert ov.other_seconds == pytest.approx(1.0)
+        assert ov.reader_stall_fraction == pytest.approx(0.3)
+        assert ov.trainer_stall_fraction == pytest.approx(0.6)
+        assert ov.other_fraction == pytest.approx(0.1)
+
+    def test_fractions_sum_to_one(self):
+        ov = OverlapReport(
+            wall_seconds=2.5,
+            reader_stall_seconds=0.7,
+            trainer_busy_seconds=1.6,
+        )
+        assert sum(ov.fractions.values()) == pytest.approx(1.0)
+
+    def test_zero_wall_safe(self):
+        ov = OverlapReport()
+        assert ov.reader_stall_fraction == 0.0
+        assert ov.trainer_stall_fraction == 0.0
+        assert ov.other_fraction == 0.0
+        assert sum(ov.fractions.values()) == 0.0
+
+    def test_timer_jitter_clamped(self):
+        """Measured sub-timers may overshoot wall by float jitter; the
+        remainder never goes negative."""
+        ov = OverlapReport(
+            wall_seconds=1.0,
+            reader_stall_seconds=0.6,
+            trainer_busy_seconds=0.5,
+        )
+        assert ov.other_seconds == 0.0
+
+    def test_from_run(self):
+        from repro.distributed.trainer import TrainingReport
+
+        training = TrainingReport(
+            ingest_wait_seconds=1.0,
+            step_wall_seconds=3.0,
+            run_wall_seconds=4.5,
+        )
+        queue = QueueWaitBreakdown(put_wait=0.2, get_wait=0.9)
+        ov = OverlapReport.from_run(training, queue=queue, streaming=True)
+        assert ov.wall_seconds == pytest.approx(4.5)
+        assert ov.reader_stall_seconds == pytest.approx(1.0)
+        assert ov.trainer_busy_seconds == pytest.approx(3.0)
+        assert ov.queue.get_wait == pytest.approx(0.9)
+        assert ov.streaming
+        assert sum(ov.fractions.values()) == pytest.approx(1.0)
+        # an explicit wall overrides the training report's
+        wider = OverlapReport.from_run(training, wall_seconds=9.0)
+        assert wider.wall_seconds == pytest.approx(9.0)

@@ -48,6 +48,43 @@ class TestSmallRuns:
         out = capsys.readouterr().out
         assert "baseline" in out and "trainer throughput" in out
 
+    def test_pipeline_epochs_partitions(self, capsys):
+        assert main(
+            [
+                "pipeline",
+                "--rm",
+                "RM2",
+                "--scale",
+                "0.1",
+                "--sessions",
+                "80",
+                "--num-partitions",
+                "2",
+                "--train-epochs",
+                "2",
+                "--num-readers",
+                "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "2 epoch(s)" in out
+        assert "overlap (stream)" in out and "reader-stall" in out
+
+    def test_pipeline_no_streaming(self, capsys):
+        assert main(
+            [
+                "pipeline",
+                "--rm",
+                "RM2",
+                "--scale",
+                "0.1",
+                "--sessions",
+                "80",
+                "--no-streaming",
+            ]
+        ) == 0
+        assert "overlap (materi)" in capsys.readouterr().out
+
     def test_pipeline_recd(self, capsys):
         assert main(
             [

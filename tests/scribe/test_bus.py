@@ -1,6 +1,5 @@
 """Tests for Scribe sharding and compression accounting (O1)."""
 
-import numpy as np
 import pytest
 
 from repro.datagen import (
@@ -11,7 +10,6 @@ from repro.datagen import (
     generate_partition,
 )
 from repro.scribe import (
-    EventLogRecord,
     ScribeCluster,
     ScribeShard,
     ShardKeyPolicy,

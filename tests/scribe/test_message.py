@@ -1,7 +1,6 @@
 """Serialization round-trip tests for log records."""
 
 import numpy as np
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

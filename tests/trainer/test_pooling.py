@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core import JaggedTensor
 from repro.trainer import (
     AttentionPooling,
     EmbeddingActivations,

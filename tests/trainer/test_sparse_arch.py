@@ -12,7 +12,6 @@ import numpy as np
 import pytest
 
 from repro.core import InverseKeyedJaggedTensor, KeyedJaggedTensor
-from repro.metrics import Counters
 from repro.trainer import (
     AttentionPooling,
     EmbeddingTable,
