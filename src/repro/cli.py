@@ -175,6 +175,10 @@ def _cmd_pipeline(args) -> int:
             num_partitions=args.num_partitions,
             train_epochs=args.train_epochs,
             streaming=args.streaming,
+            autoscale=args.autoscale,
+            target_stall=args.target_stall,
+            max_readers=args.max_readers,
+            retain_partitions=args.retain_partitions,
         )
     )
     mode = "RecD" if args.recd else "baseline"
@@ -207,6 +211,31 @@ def _cmd_pipeline(args) -> int:
             f"{100 * ov.other_fraction:.1f}% of "
             f"{ov.wall_seconds * 1e3:.1f} ms wall"
         )
+    if res.dropped_partitions:
+        print(
+            f"  retention           : window {args.retain_partitions}, "
+            f"dropped {', '.join(res.dropped_partitions)}; live "
+            f"{', '.join(res.epoch_partitions[-1])}"
+        )
+    trace = res.scaling
+    if trace is not None:
+        converged = (
+            f"converged at epoch {trace.converged_epoch}"
+            if trace.converged_epoch is not None
+            else "did not converge"
+        )
+        print(
+            f"  autoscale           : target reader-stall "
+            f"<= {trace.target_stall:.2f}, {converged}, "
+            f"final width {trace.final_width}"
+        )
+        for d in trace.decisions:
+            print(
+                f"    epoch {d.epoch}: width {d.width_before:3d} "
+                f"stall {d.reader_stall_fraction:.2f}/"
+                f"{d.trainer_stall_fraction:.2f} -> {d.action:6s} "
+                f"-> {d.width_after}"
+            )
     return 0
 
 
@@ -260,6 +289,20 @@ def build_parser() -> argparse.ArgumentParser:
                            default=True,
                            help="stream reader batches into the trainers "
                                 "(--no-streaming materializes first)")
+            p.add_argument("--autoscale", action="store_true",
+                           help="resize the reader fleet between epochs "
+                                "from the measured/modeled overlap "
+                                "(--num-readers sets the initial width)")
+            p.add_argument("--target-stall", type=float, default=0.10,
+                           help="autoscaler target band: grow while "
+                                "reader-stall fraction exceeds this")
+            p.add_argument("--max-readers", type=int, default=32,
+                           help="autoscaler upper bound on fleet width")
+            p.add_argument("--retain-partitions", type=int, default=None,
+                           help="rolling-window retention: keep at most "
+                                "this many partitions live; between "
+                                "epochs the next partition lands and "
+                                "the oldest is dropped")
     return parser
 
 

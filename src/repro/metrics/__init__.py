@@ -7,6 +7,7 @@ from .breakdown import (
 )
 from .counters import Counters, MemoryTracker
 from .overlap import OverlapReport
+from .scaling import ScalingDecision, ScalingTrace
 
 __all__ = [
     "Counters",
@@ -15,4 +16,6 @@ __all__ = [
     "OverlapReport",
     "QueueWaitBreakdown",
     "ReaderCpuBreakdown",
+    "ScalingDecision",
+    "ScalingTrace",
 ]

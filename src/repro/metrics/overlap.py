@@ -93,6 +93,57 @@ class OverlapReport:
         }
 
     @classmethod
+    def modeled(
+        cls,
+        reader_wall_seconds: float,
+        trainer_busy_seconds: float,
+        batches: int = 0,
+        streaming: bool = True,
+    ) -> "OverlapReport":
+        """Build a *deterministic* report from modeled tier times.
+
+        In a perfectly pipelined epoch the wall-clock is the slower
+        tier's time: ``max(reader_wall_seconds, trainer_busy_seconds)``.
+        The excess of the reader tier over the trainer is reader-stall
+        (the trainer starved); the excess of the trainer over the
+        readers shows up as producer-side queue wait (readers finished
+        early and blocked on full prefetch queues), mirroring what the
+        measured :class:`~repro.metrics.breakdown.QueueWaitBreakdown`
+        reports.  Because both inputs come from the cost models — not
+        ``time.perf_counter`` — the result is bit-reproducible across
+        runs, which is what lets the fleet autoscaler make reproducible
+        decisions under the deterministic executor.
+
+        Args:
+            reader_wall_seconds: modeled wall-clock of the reader tier
+                for the epoch (e.g. aggregate reader CPU spread across
+                the fleet width).
+            trainer_busy_seconds: modeled time the trainer spent inside
+                steps (summed ``iteration_seconds``).
+            batches: batches the epoch trained (bookkeeping only).
+            streaming: whether the run streamed (bookkeeping only).
+
+        Returns:
+            An :class:`OverlapReport` whose fractions sum to 1.
+        """
+        if reader_wall_seconds < 0 or trainer_busy_seconds < 0:
+            raise ValueError("modeled tier times must be non-negative")
+        wall = max(reader_wall_seconds, trainer_busy_seconds)
+        queue = QueueWaitBreakdown(
+            put_wait=max(0.0, trainer_busy_seconds - reader_wall_seconds)
+        )
+        return cls(
+            wall_seconds=wall,
+            reader_stall_seconds=max(
+                0.0, reader_wall_seconds - trainer_busy_seconds
+            ),
+            trainer_busy_seconds=trainer_busy_seconds,
+            queue=queue,
+            batches=batches,
+            streaming=streaming,
+        )
+
+    @classmethod
     def from_run(
         cls,
         training,

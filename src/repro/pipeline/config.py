@@ -36,10 +36,12 @@ class RecDToggles:
 
     @classmethod
     def baseline(cls) -> "RecDToggles":
+        """No optimizations: the Fig 7 baseline endpoint."""
         return cls()
 
     @classmethod
     def full(cls) -> "RecDToggles":
+        """All of O1-O7: the Fig 7 RecD endpoint."""
         return cls(
             o1_shard_by_session=True,
             o2_cluster_table=True,
@@ -50,10 +52,12 @@ class RecDToggles:
         )
 
     def with_(self, **kwargs) -> "RecDToggles":
+        """A copy with the given toggles flipped (ablation sweeps)."""
         return replace(self, **kwargs)
 
     @property
     def trainer_flags(self) -> TrainerOptFlags:
+        """The trainer-side (O5-O7) subset, in the trainer's terms."""
         return TrainerOptFlags(
             dedup_emb=self.o5_dedup_emb,
             jagged_index_select=self.o6_jagged_index_select,
@@ -63,7 +67,21 @@ class RecDToggles:
 
 @dataclass(frozen=True)
 class PipelineConfig:
-    """One end-to-end run's parameters."""
+    """One end-to-end run's parameters.
+
+    Everything :func:`~repro.pipeline.runner.run_pipeline` needs to run
+    the Figure 1 pipeline once: workload + optimization toggles, data
+    volume, cluster shape, reader-fleet sizing (fixed or adaptive), and
+    the partition lifecycle (how many time partitions land, how many
+    stay live under rolling-window retention, how many epochs train
+    over them).
+
+    Raises:
+        ValueError: from ``__post_init__`` when any knob is out of
+            range (non-positive widths/depths/epochs, a
+            ``target_stall`` outside (0, 1), ``max_readers`` below
+            ``num_readers``, or a non-positive ``retain_partitions``).
+    """
 
     workload: RMWorkload
     toggles: RecDToggles
@@ -94,6 +112,25 @@ class PipelineConfig:
     #: decode with training steps) instead of materializing them first;
     #: both paths are bit-identical — the knob exists for A/B timing
     streaming: bool = True
+    #: adapt the fleet width between epochs: a
+    #: :class:`~repro.reader.autoscale.ReaderAutoscaler` consumes each
+    #: epoch's modeled overlap and grows/shrinks ``num_readers`` (which
+    #: then only sets the *initial* width)
+    autoscale: bool = False
+    #: autoscaler set-point: grow the fleet while the epoch's
+    #: reader-stall fraction exceeds this band
+    target_stall: float = 0.10
+    #: autoscaler upper bound on the fleet width
+    max_readers: int = 32
+    #: rolling-window retention: at most this many partitions stay live;
+    #: each epoch one new partition lands and aged ones are dropped
+    #: (``None`` = keep every partition live, the non-retention path)
+    retain_partitions: int | None = None
+    #: which fleet executor scans shards: ``"process"`` (real
+    #: multiprocessing workers), ``"inprocess"`` (deterministic serial
+    #: fallback — what tests pin), or ``"auto"`` (pick per platform);
+    #: the batch stream is bit-identical for all three
+    reader_executor: str = "auto"
 
     def __post_init__(self) -> None:
         if self.num_readers <= 0:
@@ -104,9 +141,31 @@ class PipelineConfig:
             raise ValueError("num_partitions must be positive")
         if self.train_epochs <= 0:
             raise ValueError("train_epochs must be positive")
+        if not 0.0 < self.target_stall < 1.0:
+            raise ValueError(
+                f"target_stall must be in (0, 1), got {self.target_stall}"
+            )
+        if self.autoscale and self.max_readers < self.num_readers:
+            raise ValueError(
+                f"max_readers ({self.max_readers}) must be >= the "
+                f"initial num_readers ({self.num_readers}) when "
+                "autoscale is on"
+            )
+        if self.retain_partitions is not None and self.retain_partitions <= 0:
+            raise ValueError(
+                "retain_partitions must be positive when set, got "
+                f"{self.retain_partitions}"
+            )
+        if self.reader_executor not in ("auto", "process", "inprocess"):
+            raise ValueError(
+                "reader_executor must be 'auto', 'process' or "
+                f"'inprocess', got {self.reader_executor!r}"
+            )
 
     @property
     def effective_batch_size(self) -> int:
+        """The run's batch size: the override, else the workload's
+        per-path (baseline vs RecD) default."""
         if self.batch_size is not None:
             return self.batch_size
         w = self.workload

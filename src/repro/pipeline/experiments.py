@@ -64,6 +64,8 @@ __all__ = [
 
 @dataclass
 class Fig3Result:
+    """Fig 3: samples/session in the partition vs in a batch."""
+
     partition_stats: dict[str, float]
     batch_mean_interleaved: float
     batch_mean_clustered: float
@@ -135,6 +137,8 @@ def _workloads(scale: float) -> list[RMWorkload]:
 
 @dataclass
 class Fig7Row:
+    """Fig 7: one workload's end-to-end RecD-vs-baseline speedups."""
+
     rm: str
     trainer_x: float
     reader_x: float
@@ -150,6 +154,7 @@ def fig7_end_to_end(
     train_batches: int = 2,
     seed: int = 0,
 ) -> list[Fig7Row]:
+    """Fig 7: trainer/reader/storage/scribe speedups per workload."""
     rows = []
     for w in _workloads(scale):
         # RM3's production table exhibits fewer samples/session, which is
@@ -199,6 +204,8 @@ def fig7_end_to_end(
 
 @dataclass
 class Fig8Row:
+    """Fig 8: one workload's trainer iteration-latency breakdown."""
+
     rm: str
     baseline: IterationBreakdown
     recd: IterationBreakdown
@@ -249,6 +256,8 @@ def fig8_iteration_breakdown(
 
 @dataclass
 class Fig9Stage:
+    """Fig 9: one ablation stage's throughput and normalization."""
+
     label: str
     qps: float
     normalized: float
@@ -304,6 +313,8 @@ def fig9_ablation(
 
 @dataclass
 class Table2Row:
+    """Table 2: one configuration's resource-utilization summary."""
+
     config: str
     norm_qps: float
     max_mem_util: float
@@ -314,6 +325,7 @@ class Table2Row:
 def table2_resource_util(
     scale: float = 1.0, num_sessions: int = 250, seed: int = 0
 ) -> list[Table2Row]:
+    """Table 2: QPS, memory utilization, and compute efficiency."""
     w = rm1(scale)
     B = w.baseline_batch_size
     # The paper reinvests RecD's freed memory in 2x embedding dims (128 ->
@@ -384,6 +396,8 @@ def table2_resource_util(
 
 @dataclass
 class Table3Row:
+    """Table 3: one configuration's reader ingest/egress bytes."""
+
     config: str
     read_bytes: int
     send_bytes: int
@@ -392,6 +406,7 @@ class Table3Row:
 def table3_reader_bytes(
     scale: float = 1.0, num_sessions: int = 250, seed: int = 0
 ) -> list[Table3Row]:
+    """Table 3: bytes read off storage and sent to trainers."""
     w = rm1(scale)
     B = w.baseline_batch_size
     variants = [
@@ -435,6 +450,8 @@ def table3_reader_bytes(
 
 @dataclass
 class Fig10Row:
+    """Fig 10: one workload's reader CPU-phase breakdown."""
+
     rm: str
     baseline: ReaderCpuBreakdown
     recd: ReaderCpuBreakdown
@@ -444,6 +461,7 @@ class Fig10Row:
 def fig10_reader_cpu(
     scale: float = 1.0, num_sessions: int = 200, seed: int = 0
 ) -> list[Fig10Row]:
+    """Fig 10: Fill/Convert/Process CPU, baseline vs RecD."""
     rows = []
     for w in _workloads(scale):
         base = run_pipeline(
@@ -558,9 +576,11 @@ def accuracy_clustering(
     scale: float = 0.5, num_sessions: int = 200, train_batches: int = 6,
     seed: int = 0,
 ) -> AccuracyResult:
+    """§6.2: training-accuracy parity of clustered vs interleaved."""
     w = rm1(scale)
 
     def run(clustered: bool):
+        """One training run, clustered (O2) or interleaved."""
         toggles = (
             RecDToggles(o1_shard_by_session=True, o2_cluster_table=True)
             if clustered
@@ -638,6 +658,8 @@ def _repeat_fraction_for(
 
 @dataclass
 class DedupeModelPoint:
+    """One point of the §3 dedupe-factor model sweep."""
+
     samples_per_session: float
     d: float
     modeled: float
@@ -681,6 +703,8 @@ def dedupe_factor_model_sweep(seed: int = 0) -> list[DedupeModelPoint]:
 
 @dataclass
 class PartialResult:
+    """Exact vs partial dedupe factors and captured fractions."""
+
     exact_factor: float
     partial_factor: float
     exact_captured_fraction: float

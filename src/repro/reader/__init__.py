@@ -1,5 +1,6 @@
 """Reader tier: Fill -> Convert (O3) -> Process (O4) -> trainers."""
 
+from .autoscale import ReaderAutoscaler
 from .batch import Batch
 from .config import DataLoaderConfig
 from .convert import ConvertStats, convert_rows
@@ -29,6 +30,7 @@ __all__ = [
     "fill_batches",
     "FillStats",
     "FleetReport",
+    "ReaderAutoscaler",
     "ReaderFleet",
     "ReaderNode",
     "ReaderReport",

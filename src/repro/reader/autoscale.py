@@ -1,0 +1,216 @@
+"""Adaptive reader-fleet sizing from observed overlap reports (§2.1).
+
+The deployed platform sizes its reader tier so trainer steps never stall
+on decode: too few readers and the trainers starve (reader-stall), too
+many and reader machines idle against the trainers' bounded ingestion
+(trainer-stall upstream).  PR 2 gave the pipeline the *measurement* —
+per-epoch :class:`~repro.metrics.OverlapReport`\\ s attribute wall-clock
+to reader-stall vs trainer-stall — and :class:`ReaderAutoscaler` is the
+feedback controller that *acts* on it, resizing the fleet between
+epochs:
+
+* **grow** while ``reader_stall_fraction`` exceeds the target band —
+  proportionally, sizing the next width so the modeled reader wall
+  matches the trainer's step time;
+* **shrink** when ``trainer_stall_fraction`` dominates and the readers
+  provably idle (producer-side queue wait), but only after
+  ``shrink_patience`` consecutive such observations — the hysteresis
+  that keeps one noisy epoch from flapping the fleet;
+* **hold** inside the band, and at the ``min_readers``/``max_readers``
+  bounds.
+
+Every step is recorded in a
+:class:`~repro.metrics.scaling.ScalingTrace` (observed fractions ->
+action -> new width) for figure-style reproduction.  Fed *modeled*
+overlap reports (:meth:`~repro.metrics.OverlapReport.modeled`, built
+from the reader cost model and the trainer's modeled step times), the
+controller's decisions are bit-reproducible across runs — which is how
+``run_pipeline(autoscale=True)`` stays deterministic under the
+in-process executor.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..metrics.overlap import OverlapReport
+from ..metrics.scaling import ScalingDecision, ScalingTrace
+
+__all__ = ["ReaderAutoscaler"]
+
+
+class ReaderAutoscaler:
+    """Feedback controller that resizes a reader fleet between epochs.
+
+    One instance tracks one training run: call :meth:`observe` with each
+    epoch's :class:`~repro.metrics.OverlapReport` and run the next epoch
+    at the returned width.  The full decision history is in
+    :attr:`trace`.
+    """
+
+    def __init__(
+        self,
+        num_readers: int,
+        target_stall: float = 0.10,
+        min_readers: int = 1,
+        max_readers: int = 32,
+        shrink_patience: int = 2,
+        shrink_trainer_stall: float = 0.75,
+    ):
+        """Configure the controller.
+
+        Args:
+            num_readers: initial fleet width (clamped into bounds).
+            target_stall: upper edge of the acceptable
+                ``reader_stall_fraction`` band; the controller grows the
+                fleet while observations exceed it.
+            min_readers: smallest width the controller will set.
+            max_readers: largest width the controller will set.
+            shrink_patience: consecutive shrink-worthy observations
+                required before the fleet actually shrinks (hysteresis).
+            shrink_trainer_stall: ``trainer_stall_fraction`` above which
+                an epoch counts as shrink-worthy (the trainer held the
+                pipeline and readers idled).
+
+        Raises:
+            ValueError: if any bound or threshold is out of range.
+        """
+        if min_readers <= 0:
+            raise ValueError(
+                f"min_readers must be positive, got {min_readers}"
+            )
+        if max_readers < min_readers:
+            raise ValueError(
+                f"max_readers ({max_readers}) must be >= "
+                f"min_readers ({min_readers})"
+            )
+        if num_readers <= 0:
+            raise ValueError(
+                f"num_readers must be positive, got {num_readers}"
+            )
+        if not 0.0 < target_stall < 1.0:
+            raise ValueError(
+                f"target_stall must be in (0, 1), got {target_stall}"
+            )
+        if not 0.0 < shrink_trainer_stall <= 1.0:
+            raise ValueError(
+                "shrink_trainer_stall must be in (0, 1], "
+                f"got {shrink_trainer_stall}"
+            )
+        if shrink_patience <= 0:
+            raise ValueError(
+                f"shrink_patience must be positive, got {shrink_patience}"
+            )
+        self.target_stall = target_stall
+        self.min_readers = min_readers
+        self.max_readers = max_readers
+        self.shrink_patience = shrink_patience
+        self.shrink_trainer_stall = shrink_trainer_stall
+        self.num_readers = min(max(num_readers, min_readers), max_readers)
+        self.trace = ScalingTrace(target_stall=target_stall)
+        self._shrink_streak = 0
+
+    # -- controller ---------------------------------------------------------
+
+    def observe(
+        self, overlap: OverlapReport, epoch: int | None = None
+    ) -> int:
+        """Consume one epoch's overlap report; return the next width.
+
+        Args:
+            overlap: the epoch's wall-clock attribution (measured or,
+                for reproducible decisions, modeled via
+                :meth:`~repro.metrics.OverlapReport.modeled`).
+            epoch: 0-based epoch index for the trace; defaults to the
+                number of decisions already recorded.
+
+        Returns:
+            The fleet width (``num_readers``) the next epoch should run
+            with.
+        """
+        if epoch is None:
+            epoch = len(self.trace.decisions)
+        width = self.num_readers
+        rsf = overlap.reader_stall_fraction
+        tsf = overlap.trainer_stall_fraction
+
+        action, new_width, reason = self._decide(overlap, width, rsf, tsf)
+        self.num_readers = new_width
+        self.trace.record(
+            ScalingDecision(
+                epoch=epoch,
+                reader_stall_fraction=rsf,
+                trainer_stall_fraction=tsf,
+                width_before=width,
+                action=action,
+                width_after=new_width,
+                reason=reason,
+            )
+        )
+        return new_width
+
+    def _decide(
+        self, overlap: OverlapReport, width: int, rsf: float, tsf: float
+    ) -> tuple[str, int, str]:
+        """The control law: (action, new_width, reason) for one epoch."""
+        trainer_busy = overlap.trainer_busy_seconds
+        if overlap.wall_seconds <= 0.0 or trainer_busy <= 0.0:
+            self._shrink_streak = 0
+            return "hold", width, "no trainer signal this epoch"
+
+        # Reconstruct the reader tier's wall time from the attribution:
+        # reader-bound epochs expose it as trainer_busy + reader_stall;
+        # trainer-bound epochs hide it behind producer-side queue wait.
+        reader_wall = max(
+            0.0,
+            trainer_busy
+            + overlap.reader_stall_seconds
+            - overlap.queue.put_wait,
+        )
+        # Proportional set-point: reader work scales ~1/width, so this
+        # is the width at which reader wall ~= trainer step time.
+        proposed = math.ceil(width * reader_wall / trainer_busy)
+        proposed = min(max(proposed, self.min_readers), self.max_readers)
+
+        if rsf > self.target_stall:
+            self._shrink_streak = 0
+            new_width = min(max(width + 1, proposed), self.max_readers)
+            if new_width <= width:
+                return (
+                    "hold",
+                    width,
+                    f"reader-stall {rsf:.2f} > target "
+                    f"{self.target_stall:.2f} but already at "
+                    f"max_readers={self.max_readers}",
+                )
+            return (
+                "grow",
+                new_width,
+                f"reader-stall {rsf:.2f} > target {self.target_stall:.2f}",
+            )
+
+        if tsf >= self.shrink_trainer_stall and proposed < width:
+            self._shrink_streak += 1
+            if self._shrink_streak >= self.shrink_patience:
+                self._shrink_streak = 0
+                return (
+                    "shrink",
+                    max(proposed, self.min_readers),
+                    f"trainer-stall {tsf:.2f} dominated for "
+                    f"{self.shrink_patience} consecutive epochs",
+                )
+            return (
+                "hold",
+                width,
+                f"trainer-stall {tsf:.2f} dominates; waiting out "
+                f"hysteresis ({self._shrink_streak}/"
+                f"{self.shrink_patience})",
+            )
+
+        self._shrink_streak = 0
+        return (
+            "hold",
+            width,
+            f"reader-stall {rsf:.2f} within target "
+            f"{self.target_stall:.2f}",
+        )

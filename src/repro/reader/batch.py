@@ -43,10 +43,12 @@ class Batch:
 
     @property
     def batch_size(self) -> int:
+        """Rows in this batch (B of the job's batch size)."""
         return int(self.labels.shape[0])
 
     @property
     def sparse_keys(self) -> list[str]:
+        """Every sparse feature name, across KJT/IKJT/partial inputs."""
         keys = list(self.kjt.keys) if self.kjt is not None else []
         for ik in self.ikjts:
             keys.extend(ik.keys)

@@ -51,10 +51,12 @@ class DataLoaderConfig:
 
     @property
     def dedup_feature_names(self) -> list[str]:
+        """Flat list of the features in every exact-dedup group."""
         return [k for group in self.dedup_sparse_features for k in group]
 
     @property
     def all_sparse_names(self) -> list[str]:
+        """Every sparse feature the loader emits, dedup'd or not."""
         return (
             list(self.sparse_features)
             + self.dedup_feature_names

@@ -35,6 +35,7 @@ class ConvertStats:
     values_hashed: int = 0
 
     def merge(self, other: "ConvertStats") -> None:
+        """Fold another batch's convert work units into this one."""
         self.values_copied += other.values_copied
         self.values_hashed += other.values_hashed
 

@@ -47,18 +47,21 @@ class ReaderCostModel:
     process_per_row: float = 40e-9
 
     def fill_seconds(self, compressed_bytes: int, values_decoded: int) -> float:
+        """Fill CPU seconds: fetch/decrypt/decompress + value decode."""
         return (
             compressed_bytes * self.fill_per_compressed_byte
             + values_decoded * self.fill_per_value
         )
 
     def convert_seconds(self, values_copied: int, values_hashed: int) -> float:
+        """Convert CPU seconds: tensor copies + dedup hashing (O3)."""
         return (
             values_copied * self.convert_copy_per_value
             + values_hashed * self.convert_hash_per_value
         )
 
     def process_seconds(self, values_processed: int, rows_processed: int) -> float:
+        """Process CPU seconds: per-value transforms + per-row dispatch."""
         return (
             values_processed * self.process_per_value
             + rows_processed * self.process_per_row

@@ -26,6 +26,7 @@ class FillStats:
     values_decoded: int = 0
 
     def merge(self, other: "FillStats") -> None:
+        """Fold another batch's fill work units into this one."""
         self.compressed_bytes += other.compressed_bytes
         self.raw_bytes += other.raw_bytes
         self.values_decoded += other.values_decoded
@@ -61,6 +62,7 @@ def fill_batches(
     prev = FillStats()
 
     def snapshot() -> FillStats:
+        """Fill work accumulated since the previous snapshot."""
         cur = FillStats(
             compressed_bytes=sum(r.bytes_read for r in readers),
             raw_bytes=sum(r.raw_bytes for r in readers),

@@ -93,6 +93,27 @@ class FleetReport:
             return 0.0
         return self.merged.samples / wall
 
+    def balanced_wall_seconds(self, width: int) -> float:
+        """Aggregate reader CPU spread evenly across ``width`` workers.
+
+        The capacity view of the fleet's latency: unlike
+        :attr:`modeled_wall_seconds` (the straggler shard), this ignores
+        shard-granularity imbalance, which makes it the right signal for
+        *sizing* the tier — it is what the autoscaler steers on.
+
+        Args:
+            width: fleet width to spread the work across.
+
+        Returns:
+            Modeled wall seconds for a perfectly balanced fleet.
+
+        Raises:
+            ValueError: if ``width`` is not positive.
+        """
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        return self.merged.cpu.total / width
+
     def merge(self, other: "FleetReport") -> None:
         """Fold another run's measurements in (epoch aggregation)."""
         was_empty = not self.workers and self.num_shards == 0
@@ -149,9 +170,14 @@ class ReaderFleet:
         executor: str = "auto",
     ):
         if num_readers <= 0:
-            raise ValueError("num_readers must be positive")
+            raise ValueError(
+                f"num_readers must be positive, got {num_readers}: a "
+                "fleet needs at least one reader worker to scan shards"
+            )
         if prefetch_depth <= 0:
-            raise ValueError("prefetch_depth must be positive")
+            raise ValueError(
+                f"prefetch_depth must be positive, got {prefetch_depth}"
+            )
         if executor not in _EXECUTORS:
             raise ValueError(
                 f"executor must be one of {_EXECUTORS}, got {executor!r}"
@@ -208,6 +234,13 @@ class ReaderFleet:
         earlier shards drain, so decode overlaps partition boundaries and
         whatever the consumer does between ``next()`` calls.
         """
+        missing = [p for p in partitions if p not in table.partitions]
+        if missing:
+            raise KeyError(
+                f"partition(s) {missing} are not live in table "
+                f"{table.name!r} (never landed, or dropped by "
+                f"retention); live: {table.live_partitions}"
+            )
         infos = [table.partitions[p] for p in partitions]
         plan = plan_epoch(
             [(p, info.num_rows) for p, info in zip(partitions, infos)],
@@ -225,6 +258,7 @@ class ReaderFleet:
         started = time.perf_counter()
 
         def sources() -> Iterator[tuple[RowRangeShard, list[bytes], int, int]]:
+            """Every planned shard with its covering file blobs."""
             for info, shards in planned:
                 yield from self._shard_sources(table, info, shards)
 
@@ -316,6 +350,7 @@ class ReaderFleet:
         active: list[tuple] = []
 
         def launch_one() -> bool:
+            """Start the next shard's worker; False when none remain."""
             try:
                 shard, blobs, local_start, local_stop = next(source_iter)
             except StopIteration:

@@ -111,4 +111,5 @@ class ReaderNode:
         row_start: int = 0,
         row_stop: int | None = None,
     ) -> list[Batch]:
+        """Materialized :meth:`run` (tests and small experiments)."""
         return list(self.run(file_readers, max_batches, row_start, row_stop))

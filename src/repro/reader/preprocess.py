@@ -44,6 +44,7 @@ class SparseTransform:
     elementwise = True
 
     def apply(self, jt: JaggedTensor) -> JaggedTensor:
+        """Transform one feature's jagged values; returns a new tensor."""
         raise NotImplementedError
 
 
@@ -58,6 +59,7 @@ class HashModulo(SparseTransform):
         self.modulus = modulus
 
     def apply(self, jt: JaggedTensor) -> JaggedTensor:
+        """Hash every ID into ``[0, modulus)``."""
         # blake-free multiplicative mix keeps this vectorized & stable
         mixed = (jt.values * np.int64(2654435761)) % np.int64(self.modulus)
         return JaggedTensor(np.abs(mixed), jt.offsets.copy())
@@ -72,6 +74,7 @@ class ClampValues(SparseTransform):
         self.max_id = max_id
 
     def apply(self, jt: JaggedTensor) -> JaggedTensor:
+        """Clamp every ID into ``[0, max_id]``."""
         return JaggedTensor(
             np.clip(jt.values, 0, self.max_id), jt.offsets.copy()
         )
@@ -89,6 +92,7 @@ class TruncateLength(SparseTransform):
         self.max_len = max_len
 
     def apply(self, jt: JaggedTensor) -> JaggedTensor:
+        """Keep each row's most recent ``max_len`` IDs."""
         lengths = jt.lengths
         keep = np.minimum(lengths, self.max_len)
         # keep the *suffix* (most recent IDs) of each row
@@ -113,6 +117,7 @@ class ProcessStats:
     rows_processed: int = 0
 
     def merge(self, other: "ProcessStats") -> None:
+        """Fold another batch's process work units into this one."""
         self.values_processed += other.values_processed
         self.rows_processed += other.rows_processed
 
@@ -126,6 +131,8 @@ class DedupPreprocWrapper:
     def apply(
         self, ikjt: InverseKeyedJaggedTensor, stats: ProcessStats
     ) -> InverseKeyedJaggedTensor:
+        """Apply the wrapped transform to each dedup'd slice, metering
+        work against the *deduplicated* value counts (O4's saving)."""
         out = {}
         for key, jt in ikjt.items():
             out[key] = self.transform.apply(jt)

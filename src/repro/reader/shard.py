@@ -50,6 +50,7 @@ class RowRangeShard:
 
     @property
     def num_rows(self) -> int:
+        """Rows in this shard's window."""
         return self.row_stop - self.row_start
 
 

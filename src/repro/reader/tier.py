@@ -84,6 +84,7 @@ class ReaderTier:
 
     @property
     def report(self) -> ReaderReport:
+        """Every node's measurements merged into one tier report."""
         total = ReaderReport()
         for node in self.nodes:
             total.merge(node.report)

@@ -58,6 +58,8 @@ class HiveTable:
         self.codec = codec
         self.int_encoding = int_encoding
         self.partitions: dict[str, PartitionInfo] = {}
+        #: names of partitions aged out via :meth:`drop_partition`
+        self.dropped: list[str] = []
 
     def land_partition(
         self, partition: str, samples: list[Sample]
@@ -83,16 +85,36 @@ class HiveTable:
         self.partitions[partition] = info
         return info
 
-    def drop_partition(self, partition: str) -> None:
-        """Retention: delete an aged-out partition's files (§2.1)."""
+    def drop_partition(self, partition: str) -> PartitionInfo:
+        """Retention: delete an aged-out partition's files (§2.1).
+
+        Returns the dropped partition's metadata (useful for retention
+        bookkeeping); raises ``KeyError`` if the partition is not live.
+        """
         info = self.partitions.pop(partition, None)
         if info is None:
-            raise KeyError(partition)
+            raise KeyError(
+                f"partition {partition!r} is not live in table "
+                f"{self.name!r} (never landed, or already dropped)"
+            )
+        self.dropped.append(partition)
         for path in info.files:
             self.fs.delete(path)
+        return info
+
+    @property
+    def live_partitions(self) -> list[str]:
+        """Names of the currently live partitions, in landing order."""
+        return list(self.partitions)
 
     def open_readers(self, partition: str) -> list[DwrfReader]:
         """One reader per file of the partition (how a reader tier scans)."""
+        if partition not in self.partitions:
+            raise KeyError(
+                f"partition {partition!r} is not live in table "
+                f"{self.name!r} (never landed, or dropped by retention); "
+                f"live: {self.live_partitions}"
+            )
         info = self.partitions[partition]
         return [
             DwrfReader(self.fs.read(path), self.schema) for path in info.files

@@ -1,0 +1,123 @@
+"""Pipeline-level autoscaler tests: convergence into the target stall
+band on a reader-bound workload, trace reproducibility under the
+deterministic executor, and functional bit-identity with fixed-width
+runs."""
+
+import pytest
+
+from repro.datagen import rm1
+from repro.pipeline import PipelineConfig, RecDToggles, run_pipeline
+
+
+def _reader_bound_cfg(**kw):
+    """A workload whose modeled reader CPU dwarfs the trainer's modeled
+    step time at width 1 (~0.9 reader-stall), with enough batches per
+    epoch for the fleet to spread out."""
+    kw.setdefault("workload", rm1(scale=0.25))
+    kw.setdefault("toggles", RecDToggles.baseline())
+    kw.setdefault("num_sessions", 80)
+    kw.setdefault("seed", 3)
+    kw.setdefault("batch_size", 48)
+    kw.setdefault("train_batches", None)  # train the whole window
+    kw.setdefault("train_epochs", 4)
+    kw.setdefault("autoscale", True)
+    kw.setdefault("target_stall", 0.10)
+    kw.setdefault("reader_executor", "inprocess")
+    return PipelineConfig(**kw)
+
+
+class TestConvergence:
+    def test_converges_within_band_in_four_epochs(self):
+        """The acceptance bar: a reader-bound workload must enter the
+        target stall band within 4 epochs and stay there."""
+        res = run_pipeline(_reader_bound_cfg(num_readers=1))
+        trace = res.scaling
+        assert trace is not None
+        # epoch 0 really was reader-bound
+        assert trace.decisions[0].reader_stall_fraction > 0.5
+        assert trace.converged_epoch is not None
+        assert trace.converged_epoch <= 3
+        # once in the band it stays: every later observation in band
+        for d in trace.decisions[trace.converged_epoch:]:
+            assert trace.in_band(d.reader_stall_fraction)
+        assert trace.final_width > 1
+
+    def test_trace_reproducible_across_runs(self):
+        """The acceptance bar: identical configs produce bit-identical
+        ScalingTraces under the deterministic executor."""
+        a = run_pipeline(_reader_bound_cfg(num_readers=1))
+        b = run_pipeline(_reader_bound_cfg(num_readers=1))
+        assert a.scaling.as_rows() == b.scaling.as_rows()
+
+    def test_shrinks_overprovisioned_fleet_with_hysteresis(self):
+        res = run_pipeline(
+            _reader_bound_cfg(num_readers=32, max_readers=32)
+        )
+        trace = res.scaling
+        assert "shrink" in trace.actions
+        # hysteresis: the shrink cannot be the very first action
+        assert trace.actions[0] == "hold"
+        assert trace.final_width < 32
+
+    def test_both_directions_agree(self):
+        """Growing from 1 and shrinking from 32 settle in the same
+        neighbourhood.  They need not match exactly: sharding has real
+        modeled overhead (boundary stripes decode in both neighbouring
+        shards), so aggregate reader CPU rises with width and the
+        downward fixed point sits slightly above the upward one."""
+        up = run_pipeline(_reader_bound_cfg(num_readers=1))
+        down = run_pipeline(
+            _reader_bound_cfg(num_readers=32, max_readers=32, train_epochs=8)
+        )
+        assert down.scaling.actions.count("shrink") >= 2
+        assert (
+            up.scaling.final_width
+            <= down.scaling.final_width
+            <= 2 * up.scaling.final_width
+        )
+        # and both ended inside the band
+        for res in (up, down):
+            last = res.scaling.decisions[-1]
+            assert res.scaling.in_band(last.reader_stall_fraction)
+
+
+class TestFunctionalIdentity:
+    def test_autoscale_keeps_losses_bit_identical(self):
+        """Fleet width never changes which rows form which batch, so an
+        autoscaled run trains bit-identically to any fixed width."""
+        scaled = run_pipeline(_reader_bound_cfg(num_readers=1))
+        fixed = run_pipeline(
+            _reader_bound_cfg(num_readers=4, autoscale=False)
+        )
+        assert scaled.training.losses == fixed.training.losses
+
+    def test_autoscale_off_records_no_trace(self):
+        res = run_pipeline(
+            _reader_bound_cfg(autoscale=False, train_epochs=1)
+        )
+        assert res.scaling is None
+
+    def test_autoscale_with_retention(self):
+        """The two lifecycle knobs compose: the window slides while the
+        fleet resizes."""
+        res = run_pipeline(
+            _reader_bound_cfg(
+                num_readers=1,
+                num_partitions=4,
+                train_epochs=3,
+                retain_partitions=2,
+            )
+        )
+        assert res.scaling is not None
+        assert len(res.scaling.decisions) == 3
+        assert res.dropped_partitions == ["p0", "p1"]
+        assert res.scaling.decisions[0].action == "grow"
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            _reader_bound_cfg(target_stall=0.0)
+        with pytest.raises(ValueError):
+            _reader_bound_cfg(num_readers=8, max_readers=4)
+        # the bound only applies to autoscale runs: a fixed-width fleet
+        # wider than max_readers stays legal
+        _reader_bound_cfg(num_readers=64, autoscale=False)

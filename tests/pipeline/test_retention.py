@@ -1,0 +1,198 @@
+"""Tests for rolling-window partition retention: the land→train→age
+lifecycle, the guarantee that epochs only ever scan live partitions,
+and bit-identity of the retention-free path."""
+
+import pytest
+
+import repro.reader.fleet as fleet_mod
+from repro.datagen import rm1
+from repro.pipeline import (
+    PipelineConfig,
+    RecDToggles,
+    plan_retention_windows,
+    run_pipeline,
+)
+
+
+def _cfg(**kw):
+    kw.setdefault("workload", rm1(scale=0.25))
+    kw.setdefault("toggles", RecDToggles.baseline())
+    kw.setdefault("num_sessions", 120)
+    kw.setdefault("seed", 3)
+    kw.setdefault("batch_size", 128)
+    kw.setdefault("train_batches", 3)
+    kw.setdefault("reader_executor", "inprocess")
+    return PipelineConfig(**kw)
+
+
+class TestPlanRetentionWindows:
+    def test_slides_one_partition_per_epoch(self):
+        assert plan_retention_windows(5, 2, 4) == [
+            [0, 1],
+            [1, 2],
+            [2, 3],
+            [3, 4],
+        ]
+
+    def test_window_parks_when_stream_exhausted(self):
+        assert plan_retention_windows(3, 2, 4) == [
+            [0, 1],
+            [1, 2],
+            [1, 2],
+            [1, 2],
+        ]
+
+    def test_retain_at_least_num_partitions_never_drops(self):
+        assert plan_retention_windows(3, 3, 3) == [[0, 1, 2]] * 3
+        assert plan_retention_windows(2, 5, 3) == [[0, 1]] * 3
+
+    def test_single_partition_single_epoch(self):
+        assert plan_retention_windows(1, 1, 1) == [[0]]
+
+    def test_validation(self):
+        for bad in [(0, 1, 1), (1, 0, 1), (1, 1, 0)]:
+            with pytest.raises(ValueError):
+                plan_retention_windows(*bad)
+
+
+class TestRetentionLifecycle:
+    def test_land_train_age_end_to_end(self):
+        """5-day stream, 2-day window, 4 epochs: each epoch scans the
+        sliding window, aged partitions are dropped in order, and every
+        partition of the stream eventually lands."""
+        res = run_pipeline(
+            _cfg(num_partitions=5, train_epochs=4, retain_partitions=2)
+        )
+        assert res.epoch_partitions == [
+            ["p0", "p1"],
+            ["p1", "p2"],
+            ["p2", "p3"],
+            ["p3", "p4"],
+        ]
+        assert res.dropped_partitions == ["p0", "p1", "p2"]
+        assert [p.name for p in res.partitions] == [
+            "p0",
+            "p1",
+            "p2",
+            "p3",
+            "p4",
+        ]
+        # the rollup covers everything that ever landed
+        assert res.partition.num_rows == res.samples_landed
+
+    def test_epoch_plans_only_reference_live_partitions(self, monkeypatch):
+        """The acceptance bar: with retain_partitions=K no epoch plan
+        may ever reference a dropped partition.  Spies on the actual
+        plan_epoch calls the fleet makes."""
+        planned_names: list[list[str]] = []
+        real_plan_epoch = fleet_mod.plan_epoch
+
+        def spy(partition_rows, *args, **kwargs):
+            planned_names.append([name for name, _ in partition_rows])
+            return real_plan_epoch(partition_rows, *args, **kwargs)
+
+        monkeypatch.setattr(fleet_mod, "plan_epoch", spy)
+        res = run_pipeline(
+            _cfg(num_partitions=6, train_epochs=5, retain_partitions=3)
+        )
+        expected_windows = plan_retention_windows(6, 3, 5)
+        assert planned_names == [
+            [f"p{i}" for i in w] for w in expected_windows
+        ]
+        # no plan ever includes a partition dropped before that epoch
+        dropped: set[str] = set()
+        for epoch, names in enumerate(planned_names):
+            assert not dropped & set(names), (
+                f"epoch {epoch} planned dropped partition(s): "
+                f"{dropped & set(names)}"
+            )
+            if epoch + 1 < len(expected_windows):
+                next_lo = expected_windows[epoch + 1][0]
+                dropped |= {f"p{i}" for i in range(next_lo)}
+        assert res.dropped_partitions == sorted(dropped)
+
+    def test_dropped_partition_files_deleted(self):
+        """Dropping is real: a retention run ends with only the live
+        window's rows still counted in live partitions."""
+        res = run_pipeline(
+            _cfg(num_partitions=4, train_epochs=3, retain_partitions=1)
+        )
+        assert res.dropped_partitions == ["p0", "p1"]
+        assert res.epoch_partitions == [["p0"], ["p1"], ["p2"]]
+        # p3 stays in the stream, unlanded: only 3 epochs elapsed
+        assert [p.name for p in res.partitions] == ["p0", "p1", "p2"]
+
+    def test_retaining_everything_matches_non_retention(self):
+        """retain_partitions >= num_partitions never drops and must be
+        bit-identical to the retention-free path."""
+        plain = run_pipeline(_cfg(num_partitions=3, train_epochs=2))
+        retained = run_pipeline(
+            _cfg(num_partitions=3, train_epochs=2, retain_partitions=3)
+        )
+        assert retained.training.losses == plain.training.losses
+        assert retained.dropped_partitions == []
+        assert retained.epoch_partitions == plain.epoch_partitions
+
+    def test_streaming_materialized_equivalent_under_retention(self):
+        streamed = run_pipeline(
+            _cfg(
+                num_partitions=4,
+                train_epochs=3,
+                retain_partitions=2,
+                num_readers=2,
+                streaming=True,
+            )
+        )
+        materialized = run_pipeline(
+            _cfg(
+                num_partitions=4,
+                train_epochs=3,
+                retain_partitions=2,
+                num_readers=2,
+                streaming=False,
+            )
+        )
+        assert streamed.training.losses == materialized.training.losses
+
+    def test_width_does_not_change_retention_stream(self):
+        wide = run_pipeline(
+            _cfg(
+                num_partitions=4,
+                train_epochs=3,
+                retain_partitions=2,
+                num_readers=4,
+            )
+        )
+        narrow = run_pipeline(
+            _cfg(
+                num_partitions=4,
+                train_epochs=3,
+                retain_partitions=2,
+                num_readers=1,
+            )
+        )
+        assert wide.training.losses == narrow.training.losses
+
+    def test_non_retention_epochs_recorded(self):
+        res = run_pipeline(_cfg(num_partitions=2, train_epochs=2))
+        assert res.epoch_partitions == [["p0", "p1"], ["p0", "p1"]]
+        assert res.dropped_partitions == []
+        assert res.scaling is None
+
+    def test_undersized_first_window_fails_fast(self):
+        with pytest.raises(ValueError, match="too small"):
+            run_pipeline(
+                _cfg(
+                    num_sessions=2,
+                    batch_size=100_000,
+                    num_partitions=2,
+                    train_epochs=2,
+                    retain_partitions=1,
+                )
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            _cfg(retain_partitions=0)
+        with pytest.raises(ValueError):
+            _cfg(reader_executor="threads")

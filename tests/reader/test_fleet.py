@@ -221,12 +221,23 @@ class TestFleetDeterminism:
         assert fleet.report.merged.batches == 0
 
     def test_validation(self):
-        with pytest.raises(ValueError):
+        """Bad widths fail at construction with a clear message — never
+        deep inside shard planning."""
+        with pytest.raises(ValueError, match="num_readers.*got 0"):
             ReaderFleet(0, _plain_cfg())
+        with pytest.raises(ValueError, match="num_readers.*got -3"):
+            ReaderFleet(-3, _plain_cfg())
         with pytest.raises(ValueError):
             ReaderFleet(2, _plain_cfg(), prefetch_depth=0)
         with pytest.raises(ValueError):
             ReaderFleet(2, _plain_cfg(), executor="threads")
+
+    def test_balanced_wall_seconds(self):
+        rep = FleetReport()
+        rep.workers.append(ReaderReport(cpu=ReaderCpuBreakdown(fill=4.0)))
+        assert rep.balanced_wall_seconds(4) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            rep.balanced_wall_seconds(0)
 
 
 # -- report merging ----------------------------------------------------------
