@@ -1,0 +1,103 @@
+"""Multi-job sharing: one reader tier vs statically partitioned fleets.
+
+The paper's disaggregated preprocessing tier serves *many* training
+jobs from one pool of readers.  This example shows why that beats
+giving each job its own statically sized fleet, on two jobs with
+deliberately different reader demand:
+
+* **job A** — baseline toggles: the reader pipeline decodes duplicated
+  sessions the expensive way (reader-heavy);
+* **job B** — full RecD (O1–O7): IKJT readers do a fraction of the
+  work (reader-light).
+
+Three deployments of the same 2N workers, same jobs, same batches:
+
+1. **isolated halves** — each job owns a private N-worker fleet (the
+   static split a per-job platform would provision).  The reader-heavy
+   job straggles while the reader-light job's workers idle.
+2. **shared tier** — one ``SharedReaderTier`` of 2N workers with the
+   stall-weighted allocation: after the first (evenly split) round the
+   scheduler follows observed reader demand and shifts workers from B
+   to A, so the tier's per-round wall drops below the static split's.
+3. **sequential isolation** — each job alone on the full 2N workers,
+   one after the other: what you pay without any sharing at all.
+
+Per-job losses are bit-identical in all three deployments — sharing
+moves wall-clock, never training results.
+
+Run:  python examples/multi_job_sharing.py
+"""
+
+from repro.datagen import rm1
+from repro.pipeline import PipelineConfig, RecDToggles, run_multi_job
+
+WIDTH = 16  # the shared tier's pooled workers (2N; halves get N each)
+
+
+def _cfg(**kw) -> PipelineConfig:
+    kw.setdefault("workload", rm1(scale=0.25))
+    kw.setdefault("num_sessions", 60)
+    kw.setdefault("batch_size", 32)
+    kw.setdefault("train_batches", 2)
+    kw.setdefault("train_epochs", 4)
+    kw.setdefault("reader_executor", "inprocess")
+    return PipelineConfig(**kw)
+
+
+def main() -> None:
+    job_a = _cfg(toggles=RecDToggles.baseline(), seed=1)  # reader-heavy
+    job_b = _cfg(toggles=RecDToggles.full(), seed=2)      # reader-light
+
+    shared = run_multi_job(
+        [job_a, job_b], num_readers=WIDTH, names=["A", "B"]
+    )
+    half_a = run_multi_job([job_a], num_readers=WIDTH // 2, names=["A"])
+    half_b = run_multi_job([job_b], num_readers=WIDTH // 2, names=["B"])
+    full_a = run_multi_job([job_a], num_readers=WIDTH, names=["A"])
+    full_b = run_multi_job([job_b], num_readers=WIDTH, names=["B"])
+
+    print(f"shared tier ({WIDTH} workers, stall-weighted):")
+    for rnd in shared.tier.rounds:
+        alloc = " ".join(
+            f"{name}={w}" for name, w in sorted(rnd.allocation.items())
+        )
+        print(
+            f"  round {rnd.index}: {alloc}  "
+            f"wall {rnd.modeled_wall_seconds * 1e3:.2f} ms"
+        )
+
+    shared_wall = shared.modeled_wall_seconds
+    halves_wall = max(
+        half_a.modeled_wall_seconds, half_b.modeled_wall_seconds
+    )
+    sequential_wall = (
+        full_a.modeled_wall_seconds + full_b.modeled_wall_seconds
+    )
+    print(f"\nshared tier of {WIDTH}        : {shared_wall * 1e3:.2f} ms")
+    print(
+        f"two isolated fleets of {WIDTH // 2}: {halves_wall * 1e3:.2f} ms "
+        "(concurrent, static split)"
+    )
+    print(
+        f"jobs run back to back    : {sequential_wall * 1e3:.2f} ms "
+        f"(each alone on {WIDTH})"
+    )
+    assert shared_wall < halves_wall, "sharing must beat the static split"
+    assert shared_wall < sequential_wall
+
+    # sharing never changes training results, only wall-clock
+    assert (
+        shared.job("A").training.losses == full_a.job("A").training.losses
+    )
+    assert (
+        shared.job("B").training.losses == full_b.job("B").training.losses
+    )
+    print(
+        f"\nsharing saves {100 * (1 - shared_wall / halves_wall):.1f}% "
+        "of the static split's wall-clock; per-job losses bit-identical "
+        "in every deployment"
+    )
+
+
+if __name__ == "__main__":
+    main()

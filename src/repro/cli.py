@@ -6,6 +6,8 @@ Usage::
     python -m repro fig7 --scale 0.5 --sessions 150
     python -m repro ablation --scale 1.0
     python -m repro pipeline --rm RM2 --recd
+    python -m repro multijob --jobs 2 --num-readers 8
+    python -m repro multijob --job RM1 --job RM2:recd:sessions=80
     python -m repro list
 
 Each subcommand prints the same paper-style rows the benchmark harness
@@ -29,6 +31,7 @@ from .pipeline import (
     fig9_ablation,
     fig10_reader_cpu,
     partial_vs_exact,
+    run_multi_job,
     run_pipeline,
     scribe_sharding_compression,
     single_node_speedup,
@@ -239,6 +242,138 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
+#: keys a ``--job`` spec may set, mapped to PipelineConfig fields
+_JOB_SPEC_KEYS = {
+    "seed": ("seed", int),
+    "sessions": ("num_sessions", int),
+    "epochs": ("train_epochs", int),
+    "batches": ("train_batches", int),
+    "partitions": ("num_partitions", int),
+    "batch_size": ("batch_size", int),
+}
+
+
+def _parse_job_spec(spec: str, args) -> PipelineConfig:
+    """One ``--job`` spec -> a PipelineConfig.
+
+    Format: ``RM[:recd|baseline][:key=value ...]``, e.g.
+    ``RM2:recd:sessions=80:seed=3``.  Unset keys inherit the
+    subcommand's ``--scale/--sessions/--seed`` defaults.
+    """
+    parts = spec.split(":")
+    rm = parts[0].upper()
+    if rm not in _WORKLOADS:
+        raise SystemExit(
+            f"--job {spec!r}: workload must be one of "
+            f"{sorted(_WORKLOADS)}, got {parts[0]!r}"
+        )
+    scale = args.scale
+    toggles = RecDToggles.baseline()
+    kw = {"num_sessions": args.sessions, "seed": args.seed}
+    for token in parts[1:]:
+        if token == "recd":
+            toggles = RecDToggles.full()
+        elif token == "baseline":
+            toggles = RecDToggles.baseline()
+        elif "=" in token:
+            key, value = token.split("=", 1)
+            if key == "scale":
+                scale = float(value)
+            elif key in _JOB_SPEC_KEYS:
+                field, cast = _JOB_SPEC_KEYS[key]
+                kw[field] = cast(value)
+            else:
+                raise SystemExit(
+                    f"--job {spec!r}: unknown key {key!r}; known: "
+                    f"scale, {', '.join(sorted(_JOB_SPEC_KEYS))}"
+                )
+        else:
+            raise SystemExit(
+                f"--job {spec!r}: unknown token {token!r} (expected "
+                "'recd', 'baseline', or key=value)"
+            )
+    kw.setdefault("train_epochs", args.train_epochs)
+    kw.setdefault("train_batches", args.train_batches)
+    return PipelineConfig(workload=_WORKLOADS[rm](scale), toggles=toggles, **kw)
+
+
+def _cmd_multijob(args) -> int:
+    if args.job:
+        configs = [_parse_job_spec(spec, args) for spec in args.job]
+        labels = [spec.split(":")[0].upper() for spec in args.job]
+    elif args.jobs <= 0:
+        raise SystemExit(f"--jobs must be positive, got {args.jobs}")
+    else:
+        factory = _WORKLOADS[args.rm]
+        toggles = RecDToggles.full() if args.recd else RecDToggles.baseline()
+        configs = [
+            PipelineConfig(
+                workload=factory(args.scale),
+                toggles=toggles,
+                num_sessions=args.sessions,
+                seed=args.seed + i,
+                train_epochs=args.train_epochs,
+                train_batches=args.train_batches,
+            )
+            for i in range(args.jobs)
+        ]
+        labels = [args.rm] * args.jobs
+    names = [f"job{i}" for i in range(len(configs))]
+
+    res = run_multi_job(
+        configs,
+        num_readers=args.num_readers,
+        names=names,
+        policy=args.policy,
+        autoscale=args.autoscale,
+        target_stall=args.target_stall,
+        max_readers=args.max_readers,
+    )
+    tier = res.tier
+    print(
+        f"shared reader tier: {len(res.jobs)} jobs, width "
+        f"{args.num_readers}, policy {tier.policy}"
+    )
+    for rnd in tier.rounds:
+        alloc = " ".join(
+            f"{name}={w}" for name, w in sorted(rnd.allocation.items())
+        )
+        print(
+            f"  round {rnd.index}: width {rnd.width:3d}  {alloc}  "
+            f"wall {rnd.modeled_wall_seconds * 1e3:.2f} ms"
+        )
+    agg = tier.aggregate
+    print(
+        f"  modeled wall {tier.modeled_wall_seconds * 1e3:.2f} ms, "
+        f"aggregate reader-stall {100 * agg.reader_stall_fraction:.1f}% / "
+        f"trainer {100 * agg.trainer_stall_fraction:.1f}%"
+    )
+    trace = tier.scaling
+    if trace is not None:
+        converged = (
+            f"converged at round {trace.converged_epoch}"
+            if trace.converged_epoch is not None
+            else "did not converge"
+        )
+        print(
+            f"  autoscale: target aggregate stall <= "
+            f"{trace.target_stall:.2f}, {converged}, final width "
+            f"{trace.final_width}"
+        )
+    for label, job in zip(labels, res.jobs):
+        mode = "RecD" if job.config.toggles.o3_ikjt else "baseline"
+        ov = job.overlap
+        print(
+            f"{job.name} ({label}, {mode}): "
+            f"{len(job.training.iterations)} steps over "
+            f"{len(job.epoch_partitions)} epoch(s), "
+            f"reader-stall {100 * ov.reader_stall_fraction:.1f}% / "
+            f"trainer {100 * ov.trainer_stall_fraction:.1f}%, "
+            f"{job.fleet.merged.samples} samples read"
+        )
+    return 0
+
+
 _COMMANDS = {
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
@@ -253,6 +388,7 @@ _COMMANDS = {
     "dedupe-model": _cmd_dedupe_model,
     "partial": _cmd_partial,
     "pipeline": _cmd_pipeline,
+    "multijob": _cmd_multijob,
 }
 
 
@@ -303,6 +439,41 @@ def build_parser() -> argparse.ArgumentParser:
                                 "this many partitions live; between "
                                 "epochs the next partition lands and "
                                 "the oldest is dropped")
+        if name == "multijob":
+            p.add_argument("--rm", choices=sorted(_WORKLOADS), default="RM1",
+                           help="workload for --jobs clones")
+            p.add_argument("--recd", action="store_true",
+                           help="enable all RecD optimizations (O1-O7) "
+                                "for --jobs clones")
+            p.add_argument("--jobs", type=int, default=2,
+                           help="run this many clones of the base job "
+                                "(seeds seed..seed+N-1) when no --job "
+                                "specs are given")
+            p.add_argument("--job", action="append", default=[],
+                           metavar="SPEC",
+                           help="one job spec: RM[:recd|baseline]"
+                                "[:key=value ...] with keys scale, seed, "
+                                "sessions, epochs, batches, partitions, "
+                                "batch_size; repeatable")
+            p.add_argument("--num-readers", type=int, default=8,
+                           help="shared pool width (workers serving "
+                                "every registered job)")
+            p.add_argument("--policy", choices=("stall_weighted",
+                                                "round_robin"),
+                           default="stall_weighted",
+                           help="worker-allocation policy")
+            p.add_argument("--train-epochs", type=int, default=2,
+                           help="default epochs per job")
+            p.add_argument("--train-batches", type=int, default=2,
+                           help="default per-epoch batch cap per job")
+            p.add_argument("--autoscale", action="store_true",
+                           help="resize the shared pool between rounds "
+                                "from the aggregate stall")
+            p.add_argument("--target-stall", type=float, default=0.10,
+                           help="tier autoscaler aggregate-stall band")
+            p.add_argument("--max-readers", type=int, default=32,
+                           help="tier autoscaler upper bound on pool "
+                                "width")
     return parser
 
 

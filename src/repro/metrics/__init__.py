@@ -8,14 +8,18 @@ from .breakdown import (
 from .counters import Counters, MemoryTracker
 from .overlap import OverlapReport
 from .scaling import ScalingDecision, ScalingTrace
+from .tier import JobRoundStat, TierReport, TierRound
 
 __all__ = [
     "Counters",
     "MemoryTracker",
     "IterationBreakdown",
+    "JobRoundStat",
     "OverlapReport",
     "QueueWaitBreakdown",
     "ReaderCpuBreakdown",
     "ScalingDecision",
     "ScalingTrace",
+    "TierReport",
+    "TierRound",
 ]

@@ -22,9 +22,11 @@ class ReaderCpuBreakdown:
 
     @property
     def total(self) -> float:
+        """Summed reader CPU seconds across the three phases."""
         return self.fill + self.convert + self.process
 
     def merge(self, other: "ReaderCpuBreakdown") -> None:
+        """Fold another reader's phase times in (fleet aggregation)."""
         self.fill += other.fill
         self.convert += other.convert
         self.process += other.process
@@ -62,9 +64,11 @@ class QueueWaitBreakdown:
 
     @property
     def total(self) -> float:
+        """Summed queue-blocked wall-clock, both sides."""
         return self.put_wait + self.get_wait
 
     def merge(self, other: "QueueWaitBreakdown") -> None:
+        """Fold another run's queue waits in (epoch aggregation)."""
         self.put_wait += other.put_wait
         self.get_wait += other.get_wait
 
@@ -80,15 +84,19 @@ class IterationBreakdown:
 
     @property
     def total(self) -> float:
+        """Summed exposed iteration latency across the four phases."""
         return self.emb_lookup + self.gemm + self.a2a + self.other
 
     def merge(self, other: "IterationBreakdown") -> None:
+        """Fold another iteration's phase times in (run averaging)."""
         self.emb_lookup += other.emb_lookup
         self.gemm += other.gemm
         self.a2a += other.a2a
         self.other += other.other
 
     def normalized_to(self, baseline: "IterationBreakdown") -> dict[str, float]:
+        """Each phase as a fraction of the *baseline total* — the exact
+        normalization Fig 8 plots."""
         denom = baseline.total or 1.0
         return {
             "emb_lookup": self.emb_lookup / denom,

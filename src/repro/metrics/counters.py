@@ -20,22 +20,27 @@ class Counters:
     values: dict[str, float] = field(default_factory=dict)
 
     def add(self, name: str, amount: float) -> None:
+        """Accumulate ``amount`` into the named counter."""
         self.values[name] = self.values.get(name, 0.0) + amount
 
     def get(self, name: str) -> float:
+        """The counter's value (0.0 if never touched)."""
         return self.values.get(name, 0.0)
 
     def merge(self, other: "Counters") -> None:
+        """Fold another bag's counters in, name by name."""
         for name, amount in other.values.items():
             self.add(name, amount)
 
     def reset(self) -> None:
+        """Zero every counter."""
         self.values.clear()
 
     def __getitem__(self, name: str) -> float:
         return self.get(name)
 
     def as_dict(self) -> dict[str, float]:
+        """A snapshot copy of every counter."""
         return dict(self.values)
 
 
@@ -50,6 +55,7 @@ class MemoryTracker:
         self.peak_bytes = 0
 
     def alloc(self, nbytes: int) -> None:
+        """Claim bytes; raises ``MemoryError`` past a bounded capacity."""
         if nbytes < 0:
             raise ValueError("cannot allocate negative bytes")
         new = self.current_bytes + nbytes
@@ -62,6 +68,7 @@ class MemoryTracker:
         self.peak_bytes = max(self.peak_bytes, new)
 
     def free(self, nbytes: int) -> None:
+        """Release previously claimed bytes (peak is unaffected)."""
         if nbytes < 0:
             raise ValueError("cannot free negative bytes")
         if nbytes > self.current_bytes:
@@ -71,6 +78,7 @@ class MemoryTracker:
         self.current_bytes -= nbytes
 
     def reset_peak(self) -> None:
+        """Restart peak tracking from the current allocation."""
         self.peak_bytes = self.current_bytes
 
     @property
@@ -82,6 +90,7 @@ class MemoryTracker:
 
     @property
     def peak_utilization(self) -> float:
+        """Peak utilization in [0, 1]; 0 when capacity is unbounded."""
         if not self.capacity_bytes:
             return 0.0
         return self.peak_bytes / self.capacity_bytes

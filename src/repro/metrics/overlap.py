@@ -79,9 +79,24 @@ class OverlapReport:
 
     @property
     def other_fraction(self) -> float:
+        """Fraction of wall-clock outside the ingestion loop."""
         if self.wall_seconds == 0:
             return 0.0
         return self.other_seconds / self.wall_seconds
+
+    def merge(self, other: "OverlapReport") -> None:
+        """Fold another report's attribution in (round/epoch totals).
+
+        Summands add, so the merged report's fractions remain a valid
+        attribution of the merged wall-clock; ``streaming`` stays True
+        only if every merged report streamed.
+        """
+        self.wall_seconds += other.wall_seconds
+        self.reader_stall_seconds += other.reader_stall_seconds
+        self.trainer_busy_seconds += other.trainer_busy_seconds
+        self.queue.merge(other.queue)
+        self.batches += other.batches
+        self.streaming = self.streaming and other.streaming
 
     @property
     def fractions(self) -> dict[str, float]:

@@ -1,0 +1,219 @@
+"""Many trainer jobs sharing one reader tier, end to end.
+
+:func:`run_multi_job` is the multi-job counterpart of
+:func:`~repro.pipeline.runner.run_pipeline`: it lands each job's table
+and builds each job's trainer exactly as a single-job run would, then
+hands every job to one :class:`~repro.reader.tier_scheduler.SharedReaderTier`
+— one pool of reader workers multiplexed across all jobs' epochs.
+
+Two guarantees fall out of the construction:
+
+* **Functional isolation** — a job's batch content never depends on how
+  many workers it was leased, so every job's per-step losses are
+  bit-identical to running that job alone through ``run_pipeline``.
+* **Wall-clock sharing wins** — jobs' epochs run concurrently on
+  disjoint worker subsets, so the tier's modeled wall-clock is bounded
+  by its slowest job per round rather than the sum of jobs, and the
+  stall-weighted allocation shifts workers from reader-light jobs to
+  reader-heavy ones (``examples/multi_job_sharing.py`` measures both
+  effects).
+
+Rolling-window retention (``retain_partitions``) is not yet supported
+under sharing — each job's table must be fully landed up front.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from ..distributed.trainer import TrainingReport
+from ..metrics.overlap import OverlapReport
+from ..metrics.tier import TierReport
+from ..reader.fleet import FleetReport
+from ..reader.tier_scheduler import SharedReaderTier, TierJob
+from .config import PipelineConfig
+from .runner import _validate_epoch_batches, build_trainer, land_table
+
+__all__ = ["JobResult", "MultiJobResult", "run_multi_job"]
+
+
+@dataclass
+class JobResult:
+    """One job's measurements from a shared-tier run."""
+
+    name: str
+    config: PipelineConfig
+    #: the job's trainer report — per-step losses bit-identical to the
+    #: same config run alone through ``run_pipeline``
+    training: TrainingReport
+    #: the job's reader measurements merged across every round it ran
+    fleet: FleetReport
+    #: the job's modeled overlap attribution, merged across rounds
+    overlap: OverlapReport
+    #: which partitions each of the job's epochs scanned
+    epoch_partitions: list[list[str]]
+    samples_landed: int
+
+
+@dataclass
+class MultiJobResult:
+    """Every job's measurements plus the tier-level schedule."""
+
+    jobs: list[JobResult]
+    tier: TierReport
+
+    def job(self, name: str) -> JobResult:
+        """Look one job's result up by name."""
+        for job in self.jobs:
+            if job.name == name:
+                return job
+        raise KeyError(
+            f"no job named {name!r}; jobs: {[j.name for j in self.jobs]}"
+        )
+
+    @property
+    def modeled_wall_seconds(self) -> float:
+        """The shared tier's modeled end-to-end wall-clock."""
+        return self.tier.modeled_wall_seconds
+
+
+def run_multi_job(
+    configs: Sequence[PipelineConfig],
+    num_readers: int,
+    names: Sequence[str] | None = None,
+    policy: str = "stall_weighted",
+    autoscale: bool = False,
+    target_stall: float = 0.10,
+    max_readers: int = 32,
+    track_updates: bool = False,
+) -> MultiJobResult:
+    """Run many training jobs against one shared reader tier.
+
+    Each config is prepared exactly as :func:`run_pipeline` would — its
+    own generated trace, Scribe transport, ETL, landed table, and
+    seeded trainer — then registered with a
+    :class:`~repro.reader.tier_scheduler.SharedReaderTier` of
+    ``num_readers`` pooled workers.  The tier schedules every job's
+    epochs in rounds; each job's scheduled epoch streams that job's
+    fleet share straight into that job's trainer.
+
+    Args:
+        configs: one :class:`PipelineConfig` per job.
+        num_readers: shared pool width (the tier's total workers) —
+            this replaces the per-config ``num_readers``, which is
+            ignored under sharing.
+        names: job names for reports (default ``job0..job{M-1}``).
+        policy: worker-allocation policy (``"stall_weighted"`` or
+            ``"round_robin"``).
+        autoscale: let the tier resize the shared pool between rounds
+            from the aggregate stall.
+        target_stall: the tier autoscaler's aggregate stall band.
+        max_readers: the tier autoscaler's upper width bound.
+        track_updates: forward per-step update tracking to every
+            trainer.
+
+    Returns:
+        A :class:`MultiJobResult` with per-job reports and the tier's
+        :class:`~repro.metrics.tier.TierReport`.
+
+    Raises:
+        ValueError: on an empty config list, mismatched/duplicate
+            names, a config using ``retain_partitions`` or per-job
+            ``autoscale`` (the tier scales the shared pool, not
+            per-job fleets), or any tier admission failure.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ValueError("run_multi_job needs at least one config")
+    if names is None:
+        names = [f"job{i}" for i in range(len(configs))]
+    names = list(names)
+    if len(names) != len(configs):
+        raise ValueError(
+            f"{len(names)} names for {len(configs)} configs"
+        )
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate job names: {names}")
+    for name, config in zip(names, configs):
+        if config.retain_partitions is not None:
+            raise ValueError(
+                f"job {name!r} sets retain_partitions, which is not "
+                "supported under multi-job sharing yet: tables must be "
+                "fully landed before the tier starts"
+            )
+        if config.autoscale:
+            raise ValueError(
+                f"job {name!r} sets autoscale, but under sharing there "
+                "is no per-job fleet to scale — pass autoscale=True to "
+                "run_multi_job itself to resize the shared pool from "
+                "aggregate stall"
+            )
+
+    tier = SharedReaderTier(
+        num_readers,
+        policy=policy,
+        autoscale=autoscale,
+        target_stall=target_stall,
+        max_readers=max_readers,
+    )
+
+    trainers = {}
+    prepared = {}
+    for name, config in zip(names, configs):
+        table, scribe_stats, ingest_bytes, partitions, samples = land_table(
+            config
+        )
+        _validate_epoch_batches(config, partitions)
+        trainer = build_trainer(config)
+        trainers[name] = trainer
+        window = [p.name for p in partitions]
+        epochs = [list(window) for _ in range(config.train_epochs)]
+        prepared[name] = (config, epochs, len(samples))
+
+        def consume(
+            epoch_idx,
+            source,
+            trainer=trainer,
+            materialize=not config.streaming,
+        ):
+            """Feed one scheduled epoch into this job's trainer; return
+            the epoch's modeled trainer-busy seconds."""
+            steps_before = len(trainer.report.iterations)
+            if materialize:
+                source = list(source)
+            trainer.run(source, track_updates=track_updates)
+            return sum(
+                it.iteration_seconds
+                for it in trainer.report.iterations[steps_before:]
+            )
+
+        tier.register(
+            TierJob(
+                name=name,
+                table=table,
+                config=config.dataloader_config(),
+                epochs=epochs,
+                max_batches=config.train_batches,
+                consume=consume,
+                prefetch_depth=config.prefetch_depth,
+                executor=config.reader_executor,
+                streaming=config.streaming,
+            )
+        )
+
+    report = tier.run()
+    per_job = report.per_job
+    jobs = [
+        JobResult(
+            name=name,
+            config=prepared[name][0],
+            training=trainers[name].report,
+            fleet=tier.job_fleets[name],
+            overlap=per_job[name],
+            epoch_partitions=prepared[name][1],
+            samples_landed=prepared[name][2],
+        )
+        for name in names
+    ]
+    return MultiJobResult(jobs=jobs, tier=report)

@@ -53,6 +53,7 @@ from .config import PipelineConfig
 __all__ = [
     "PipelineResult",
     "run_pipeline",
+    "build_trainer",
     "land_table",
     "plan_retention_windows",
 ]
@@ -270,6 +271,28 @@ def _validate_epoch_batches(
         )
 
 
+def build_trainer(config: PipelineConfig) -> DistributedTrainer:
+    """The run's trainer: a seeded DLRM under the modeled cluster.
+
+    Split out of :func:`run_pipeline` so multi-job sharing
+    (:func:`~repro.pipeline.multi_job.run_multi_job`) builds each job's
+    trainer exactly the way a single-job run would — which is what makes
+    per-job losses under sharing bit-identical to solo runs.
+    """
+    w = config.workload
+    model = DLRM(
+        list(w.schema.sparse),
+        DLRMConfig.from_workload(
+            w, max_table_rows=config.max_table_rows, seed=config.seed
+        ),
+        config.toggles.trainer_flags,
+    )
+    cluster = sim_cluster(
+        num_gpus=config.num_gpus, gpus_per_node=config.gpus_per_node
+    )
+    return DistributedTrainer(model, cluster)
+
+
 def run_pipeline(
     config: PipelineConfig,
     track_updates: bool = False,
@@ -320,18 +343,7 @@ def run_pipeline(
         landed = dict(enumerate(partitions))
         _validate_epoch_batches(config, partitions)
 
-    w = config.workload
-    model = DLRM(
-        list(w.schema.sparse),
-        DLRMConfig.from_workload(
-            w, max_table_rows=config.max_table_rows, seed=config.seed
-        ),
-        config.toggles.trainer_flags,
-    )
-    cluster = sim_cluster(
-        num_gpus=config.num_gpus, gpus_per_node=config.gpus_per_node
-    )
-    trainer = DistributedTrainer(model, cluster)
+    trainer = build_trainer(config)
 
     width = config.num_readers
     autoscaler = (

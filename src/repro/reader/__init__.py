@@ -20,6 +20,7 @@ from .preprocess import (
 )
 from .shard import RowRangeShard, covering_files, plan_epoch, plan_shards
 from .tier import ReaderTier, TierPlan, readers_required
+from .tier_scheduler import SharedReaderTier, TierJob, allocate_workers
 
 __all__ = [
     "Batch",
@@ -49,4 +50,7 @@ __all__ = [
     "readers_required",
     "TierPlan",
     "ReaderTier",
+    "SharedReaderTier",
+    "TierJob",
+    "allocate_workers",
 ]

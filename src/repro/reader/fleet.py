@@ -236,10 +236,24 @@ class ReaderFleet:
         """
         missing = [p for p in partitions if p not in table.partitions]
         if missing:
+            # Name each offending partition with *why* it is not live so
+            # a failed epoch is diagnosable from the message alone: a
+            # retention-dropped partition means the epoch plan lags the
+            # rolling window; a never-landed one means the plan is wrong.
+            detail = ", ".join(
+                f"{p!r} ("
+                + (
+                    "dropped by retention"
+                    if p in table.dropped
+                    else "never landed"
+                )
+                + ")"
+                for p in missing
+            )
             raise KeyError(
-                f"partition(s) {missing} are not live in table "
-                f"{table.name!r} (never landed, or dropped by "
-                f"retention); live: {table.live_partitions}"
+                f"cannot scan epoch {list(partitions)} of table "
+                f"{table.name!r}: {detail}; current live window: "
+                f"{table.live_partitions}"
             )
         infos = [table.partitions[p] for p in partitions]
         plan = plan_epoch(

@@ -1,0 +1,458 @@
+"""A shared reader tier multiplexing one worker pool across many jobs.
+
+The paper's disaggregated data-preprocessing tier (§2.1) is *shared*
+infrastructure: one pool of stateless reader workers serves many
+concurrent training jobs, so preprocessing capacity amortizes across the
+platform instead of being provisioned per job.  Everything before this
+module serves exactly one job — :class:`~repro.reader.fleet.ReaderFleet`
+scans one job's epoch, ``run_pipeline`` trains one job.
+:class:`SharedReaderTier` closes that gap:
+
+* **Registration / admission** — jobs register a :class:`TierJob` (their
+  table, epoch plan, DataLoader config, and batch consumer); admission
+  refuses a job set the scheduler cannot serve fairly (more than
+  ``2 * num_readers`` jobs) and epoch plans that reference dead
+  partitions or cannot fill a single batch.
+* **Scheduling rounds** — the tier runs in rounds: each round, every
+  registered job with epochs remaining is a candidate, and
+  :func:`allocate_workers` splits the pool's width across candidates —
+  allocations always sum to the fleet width, and a job skipped one
+  round has strict priority the next (no admitted job is ever starved
+  for more than one consecutive round).
+* **Isolation** — a job's leased workers run that job's own
+  :class:`~repro.reader.fleet.ReaderFleet` over that job's table, so
+  batch *content* is completely unaffected by sharing: every job's
+  batch stream — and therefore its training losses — is bit-identical
+  to running alone on a private fleet of any width.  Sharing only moves
+  modeled wall-clock.
+* **Aggregate autoscaling** — with ``autoscale=True`` a
+  :class:`~repro.reader.autoscale.ReaderAutoscaler` resizes the *pool*
+  between rounds from the tier-level overlap (every job's reader CPU
+  pooled over the width vs the slowest trainer), not any single job's
+  stall.
+
+Two allocation policies, both deterministic:
+
+* ``"round_robin"`` — even split; the remainder rotates across jobs by
+  a round cursor.
+* ``"stall_weighted"`` (default) — each candidate is guaranteed one
+  worker, and the rest of the pool follows observed reader demand:
+  workers proportional to each job's last-observed reader CPU seconds
+  (largest-remainder rounding), so jobs whose trainers starve pull
+  workers away from jobs whose readers idle.  Until every candidate has
+  been observed once, the round falls back to the even split.
+
+Every round's allocation, per-job modeled overlap, and the tier-level
+aggregate land in a :class:`~repro.metrics.tier.TierReport`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Collection, Iterator, Mapping, Sequence
+from dataclasses import dataclass
+
+from ..metrics.tier import JobRoundStat, TierReport, TierRound
+from ..storage.hive import HiveTable
+from .autoscale import ReaderAutoscaler
+from .batch import Batch
+from .config import DataLoaderConfig
+from .fleet import FleetReport, ReaderFleet
+
+__all__ = ["allocate_workers", "TierJob", "SharedReaderTier"]
+
+#: the deterministic worker-allocation policies
+POLICIES = ("round_robin", "stall_weighted")
+
+
+def allocate_workers(
+    width: int,
+    jobs: Sequence[str],
+    *,
+    starved: Collection[str] = (),
+    demand: Mapping[str, float] | None = None,
+    policy: str = "stall_weighted",
+    cursor: int = 0,
+) -> dict[str, int]:
+    """Split ``width`` workers across ``jobs`` for one scheduling round.
+
+    The allocation always sums to ``width`` (the pool is never left
+    idle while a job has work).  Jobs in ``starved`` — skipped last
+    round — have strict priority for whatever cannot be split evenly,
+    which is what bounds starvation at one consecutive round whenever
+    ``len(jobs) <= 2 * width``.
+
+    Args:
+        width: pool width (total workers to hand out; must be > 0).
+        jobs: candidate job names, in registration order.
+        starved: jobs that received zero workers last round.
+        demand: last-observed reader CPU seconds per job (the
+            ``stall_weighted`` weights); jobs missing from it force the
+            even-split fallback for the round.
+        policy: ``"round_robin"`` or ``"stall_weighted"``.
+        cursor: round counter; rotates who the remainder favours.
+
+    Returns:
+        ``{job: workers}`` over exactly the given jobs, summing to
+        ``width`` (empty when ``jobs`` is empty).
+
+    Raises:
+        ValueError: on a non-positive width, an unknown policy, or
+            duplicate job names.
+    """
+    if width <= 0:
+        raise ValueError(f"width must be positive, got {width}")
+    if policy not in POLICIES:
+        raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+    names = list(jobs)
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate job names in {names}")
+    if not names:
+        return {}
+
+    m = len(names)
+    rot = cursor % m
+    rotated = names[rot:] + names[:rot]
+    position = {name: i for i, name in enumerate(rotated)}
+    starved_set = set(starved)
+    weights = demand or {}
+
+    def priority(name: str) -> tuple:
+        """Sort key: starved first, hungrier first (stall_weighted),
+        then rotation order — a deterministic total order."""
+        return (
+            0 if name in starved_set else 1,
+            -weights.get(name, 0.0) if policy == "stall_weighted" else 0.0,
+            position[name],
+        )
+
+    ranked = sorted(names, key=priority)
+
+    if m > width:
+        # More jobs than workers: one worker each to the first `width`
+        # jobs in priority order; the rest wait (and lead next round).
+        winners = set(ranked[:width])
+        return {name: (1 if name in winners else 0) for name in names}
+
+    # Every candidate gets one worker; the surplus follows the policy.
+    out = {name: 1 for name in names}
+    rest = width - m
+    if rest == 0:
+        return out
+    total = sum(weights.get(name, 0.0) for name in names)
+    if (
+        policy == "round_robin"
+        or total <= 0.0
+        or any(name not in weights for name in names)
+    ):
+        # Even split (the stall_weighted cold start: some candidate has
+        # never been observed, so there is no demand signal to follow).
+        base, extra = divmod(rest, m)
+        for name in names:
+            out[name] += base
+        for name in ranked[:extra]:
+            out[name] += 1
+        return out
+
+    # Largest-remainder apportionment of the surplus by observed demand.
+    shares = {name: rest * weights[name] / total for name in names}
+    floors = {name: int(shares[name]) for name in names}
+    for name in names:
+        out[name] += floors[name]
+    leftover = rest - sum(floors.values())
+    by_remainder = sorted(
+        names, key=lambda n: (-(shares[n] - floors[n]), priority(n))
+    )
+    for name in by_remainder[:leftover]:
+        out[name] += 1
+    return out
+
+
+@dataclass
+class TierJob:
+    """One training job's registration with a shared reader tier.
+
+    Attributes:
+        name: unique job name (the key in every tier report).
+        table: the job's landed :class:`~repro.storage.hive.HiveTable`.
+        config: the job's DataLoader spec (batch size, features,
+            transforms).
+        epochs: the job's epoch plan — one list of partition names per
+            epoch, scanned in order.
+        max_batches: per-epoch batch cap (``None`` = the whole window).
+        consume: the job's batch queue consumer: called once per
+            scheduled epoch as ``consume(epoch_index, batch_iterator)``
+            and expected to drain the iterator (e.g. by streaming it
+            into a trainer) and return the epoch's modeled
+            trainer-busy seconds.  ``None`` drains batches unconsumed
+            (reader-only jobs).
+        prefetch_depth: bounded prefetch per leased worker.
+        executor: fleet executor for the job's scans (``"auto"``,
+            ``"process"``, or ``"inprocess"``).
+        streaming: whether the job's consumer streams batches (False
+            when it materializes first; carried into the job's overlap
+            reports as bookkeeping).
+    """
+
+    name: str
+    table: HiveTable
+    config: DataLoaderConfig
+    epochs: Sequence[Sequence[str]]
+    max_batches: int | None = None
+    consume: Callable[[int, Iterator[Batch]], float] | None = None
+    prefetch_depth: int = 2
+    executor: str = "auto"
+    streaming: bool = True
+
+
+class SharedReaderTier:
+    """One pool of reader workers multiplexed across registered jobs.
+
+    Register jobs with :meth:`register`, then :meth:`run` the tier to
+    completion: scheduling rounds repeat until every job's epoch plan is
+    exhausted, and the resulting :class:`~repro.metrics.tier.TierReport`
+    carries every round's allocation and modeled accounting.  Merged
+    per-job fleet measurements accumulate in :attr:`job_fleets`.
+    """
+
+    def __init__(
+        self,
+        num_readers: int,
+        policy: str = "stall_weighted",
+        autoscale: bool = False,
+        target_stall: float = 0.10,
+        max_readers: int = 32,
+    ):
+        """Configure the shared pool.
+
+        Args:
+            num_readers: pool width (workers shared by all jobs).
+            policy: worker-allocation policy (``"round_robin"`` or
+                ``"stall_weighted"``).
+            autoscale: resize the pool between rounds from the
+                aggregate tier overlap.
+            target_stall: the tier autoscaler's target band for the
+                *aggregate* reader-stall fraction.
+            max_readers: the tier autoscaler's upper width bound.
+
+        Raises:
+            ValueError: on a non-positive width, unknown policy, or —
+                with ``autoscale`` — ``max_readers < num_readers``.
+        """
+        if num_readers <= 0:
+            raise ValueError(
+                f"num_readers must be positive, got {num_readers}"
+            )
+        if policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {policy!r}"
+            )
+        if autoscale and max_readers < num_readers:
+            raise ValueError(
+                f"max_readers ({max_readers}) must be >= num_readers "
+                f"({num_readers}) when autoscale is on"
+            )
+        self.num_readers = num_readers
+        self.policy = policy
+        self.autoscale = autoscale
+        self.target_stall = target_stall
+        self.max_readers = max_readers
+        #: merged per-job FleetReports, populated by :meth:`run`
+        self.job_fleets: dict[str, FleetReport] = {}
+        self.report: TierReport | None = None
+        self._jobs: dict[str, TierJob] = {}
+        self._ran = False
+
+    # -- registration / admission ------------------------------------------
+
+    def register(self, job: TierJob) -> None:
+        """Admit one job to the tier.
+
+        Admission is checked up front so a bad job fails at
+        registration, not mid-run:
+
+        * the name must be unique and non-empty;
+        * the job set must stay schedulable without starving anyone for
+          more than one round (at most ``2 * num_readers`` jobs);
+        * every partition in the epoch plan must be live in the job's
+          table;
+        * every epoch must fill at least one training batch.
+
+        Raises:
+            ValueError: if any admission check fails.
+            RuntimeError: if the tier already ran.
+        """
+        if self._ran:
+            raise RuntimeError(
+                "tier already ran; build a new SharedReaderTier to "
+                "schedule more jobs"
+            )
+        if not job.name:
+            raise ValueError("job name must be non-empty")
+        if job.name in self._jobs:
+            raise ValueError(f"job {job.name!r} already registered")
+        if len(self._jobs) + 1 > 2 * self.num_readers:
+            raise ValueError(
+                f"admission refused for job {job.name!r}: "
+                f"{len(self._jobs) + 1} jobs on a {self.num_readers}-wide "
+                f"pool cannot be scheduled without starving some job for "
+                f"more than one round (limit: 2 * width = "
+                f"{2 * self.num_readers}); widen the tier or run fewer "
+                "jobs"
+            )
+        if not job.epochs or any(not epoch for epoch in job.epochs):
+            raise ValueError(
+                f"job {job.name!r} has an empty epoch plan: every epoch "
+                "must name at least one partition"
+            )
+        for epoch_idx, epoch in enumerate(job.epochs):
+            dead = [p for p in epoch if p not in job.table.partitions]
+            if dead:
+                raise ValueError(
+                    f"job {job.name!r} epoch {epoch_idx} references "
+                    f"partition(s) {dead} not live in table "
+                    f"{job.table.name!r}; live: {job.table.live_partitions}"
+                )
+            # Batches are partition-aligned (plan_epoch drops each
+            # partition's sub-batch remainder), so the check must sum
+            # per-partition floors, not floor the summed rows.
+            batches = sum(
+                job.table.partitions[p].num_rows // job.config.batch_size
+                for p in epoch
+            )
+            if batches == 0:
+                rows = [job.table.partitions[p].num_rows for p in epoch]
+                raise ValueError(
+                    f"job {job.name!r} epoch {epoch_idx} cannot fill one "
+                    f"batch: {rows} rows across {len(epoch)} partition(s), "
+                    f"all below batch {job.config.batch_size}"
+                )
+        self._jobs[job.name] = job
+
+    @property
+    def jobs(self) -> list[str]:
+        """Registered job names, in registration order."""
+        return list(self._jobs)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def run(self) -> TierReport:
+        """Schedule rounds until every job's epoch plan is exhausted.
+
+        Returns:
+            The run's :class:`~repro.metrics.tier.TierReport` (also left
+            in :attr:`report`).
+
+        Raises:
+            RuntimeError: if the tier already ran.
+            ValueError: if no jobs are registered.
+        """
+        if self._ran:
+            raise RuntimeError(
+                "tier already ran; build a new SharedReaderTier to rerun"
+            )
+        if not self._jobs:
+            raise ValueError("no jobs registered")
+        self._ran = True
+
+        autoscaler = (
+            ReaderAutoscaler(
+                self.num_readers,
+                target_stall=self.target_stall,
+                # the fairness floor: never shrink the pool so far that
+                # the admitted job set cannot be served one worker each
+                # within two rounds
+                min_readers=max(1, math.ceil(len(self._jobs) / 2)),
+                max_readers=self.max_readers,
+            )
+            if self.autoscale
+            else None
+        )
+        width = autoscaler.num_readers if autoscaler else self.num_readers
+
+        self.job_fleets = {name: FleetReport() for name in self._jobs}
+        progress = {name: 0 for name in self._jobs}
+        demand: dict[str, float] = {}
+        starved: set[str] = set()
+        rounds: list[TierRound] = []
+        cursor = 0
+
+        while True:
+            active = [
+                job
+                for name, job in self._jobs.items()
+                if progress[name] < len(job.epochs)
+            ]
+            if not active:
+                break
+            alloc = allocate_workers(
+                width,
+                [job.name for job in active],
+                starved=starved,
+                demand=demand,
+                policy=self.policy,
+                cursor=cursor,
+            )
+            cursor += 1
+            stats = []
+            for job in active:
+                workers = alloc[job.name]
+                if workers == 0:
+                    continue
+                stats.append(
+                    self._run_job_epoch(job, progress[job.name], workers)
+                )
+                progress[job.name] += 1
+                demand[job.name] = stats[-1].reader_cpu_seconds
+            starved = {name for name, w in alloc.items() if w == 0}
+            rnd = TierRound(
+                index=len(rounds),
+                width=width,
+                stats=stats,
+                skipped=sorted(starved),
+            )
+            rounds.append(rnd)
+            if autoscaler is not None:
+                width = autoscaler.observe(rnd.aggregate, epoch=rnd.index)
+
+        self.report = TierReport(
+            policy=self.policy,
+            rounds=rounds,
+            scaling=autoscaler.trace if autoscaler is not None else None,
+        )
+        return self.report
+
+    def _run_job_epoch(
+        self, job: TierJob, epoch: int, workers: int
+    ) -> JobRoundStat:
+        """Lease ``workers`` readers to one job for one epoch."""
+        fleet = ReaderFleet(
+            workers,
+            job.config,
+            prefetch_depth=job.prefetch_depth,
+            executor=job.executor,
+        )
+        source = fleet.iter_epoch(
+            job.table, list(job.epochs[epoch]), max_batches=job.max_batches
+        )
+        if job.consume is None:
+            for _ in source:
+                pass
+            busy = 0.0
+        else:
+            busy = float(job.consume(epoch, source))
+            if busy < 0.0:
+                raise ValueError(
+                    f"job {job.name!r} consume() returned negative "
+                    f"trainer-busy seconds ({busy})"
+                )
+        merged = fleet.report.merged
+        self.job_fleets[job.name].merge(fleet.report)
+        return JobRoundStat(
+            job=job.name,
+            workers=workers,
+            reader_cpu_seconds=merged.cpu.total,
+            trainer_busy_seconds=busy,
+            batches=merged.batches,
+            streaming=job.streaming,
+        )

@@ -40,11 +40,13 @@ class ScribeStats:
 
     @property
     def compression_ratio(self) -> float:
+        """Raw over compressed bytes (1.0 while nothing is sealed)."""
         if self.compressed_bytes == 0:
             return 1.0
         return self.raw_bytes / self.compressed_bytes
 
     def merge(self, other: "ScribeStats") -> None:
+        """Fold another shard's accounting in (cluster rollup)."""
         self.raw_bytes += other.raw_bytes
         self.compressed_bytes += other.compressed_bytes
         self.num_messages += other.num_messages
@@ -63,6 +65,8 @@ class ScribeShard:
         self.stats = ScribeStats()
 
     def append(self, message: bytes) -> None:
+        """Buffer one message; seal a compressed block at the high-water
+        mark."""
         # 4-byte length framing so blocks are self-describing.
         framed = len(message).to_bytes(4, "little") + message
         self._pending.append(framed)
@@ -84,6 +88,7 @@ class ScribeShard:
         self._pending_bytes = 0
 
     def flush(self) -> None:
+        """Seal whatever is buffered, even below the block size."""
         self._seal_block()
 
     def read_messages(self) -> list[bytes]:
@@ -132,6 +137,7 @@ class ScribeCluster:
     # -- ingestion ----------------------------------------------------------
 
     def log_features(self, record: FeatureLogRecord) -> int:
+        """Route one feature record to its shard; returns the shard id."""
         payload = record.serialize()
         shard = route(self.policy, len(self.shards), record.session_id, payload)
         self.shards[shard].append(payload)
@@ -139,6 +145,7 @@ class ScribeCluster:
         return shard
 
     def log_event(self, record: EventLogRecord) -> int:
+        """Route one event record to its shard; returns the shard id."""
         payload = record.serialize()
         shard = route(self.policy, len(self.shards), record.session_id, payload)
         self.shards[shard].append(payload)
@@ -146,6 +153,7 @@ class ScribeCluster:
         return shard
 
     def flush(self) -> None:
+        """Seal every shard's buffered messages."""
         for shard in self.shards:
             shard.flush()
 
@@ -162,6 +170,7 @@ class ScribeCluster:
 
     @property
     def stats(self) -> ScribeStats:
+        """Every shard's accounting merged into one cluster view."""
         total = ScribeStats()
         for shard in self.shards:
             total.merge(shard.stats)
@@ -169,6 +178,7 @@ class ScribeCluster:
 
     @property
     def compression_ratio(self) -> float:
+        """Cluster-wide compression ratio (the O1 headline number)."""
         return self.stats.compression_ratio
 
     @property
@@ -177,4 +187,5 @@ class ScribeCluster:
         return sum(s.egress_bytes for s in self.shards)
 
     def shard_message_counts(self) -> list[int]:
+        """Messages landed per shard (routing-balance diagnostics)."""
         return [s.stats.num_messages for s in self.shards]

@@ -49,6 +49,7 @@ class FeatureLogRecord:
 
     @classmethod
     def deserialize(cls, data: bytes) -> "FeatureLogRecord":
+        """Exact inverse of :meth:`serialize` (the ETL ingest path)."""
         request_id, session_id, timestamp, n_feat = _HEADER.unpack_from(data, 0)
         pos = _HEADER.size
         sparse: dict[str, np.ndarray] = {}
@@ -86,12 +87,14 @@ class EventLogRecord:
     _FMT = struct.Struct("<qqdq")
 
     def serialize(self) -> bytes:
+        """Fixed-size binary wire format (id, session, time, label)."""
         return self._FMT.pack(
             self.request_id, self.session_id, self.timestamp, self.label
         )
 
     @classmethod
     def deserialize(cls, data: bytes) -> "EventLogRecord":
+        """Exact inverse of :meth:`serialize` (the ETL ingest path)."""
         request_id, session_id, timestamp, label = cls._FMT.unpack(data)
         return cls(request_id, session_id, timestamp, label)
 

@@ -18,6 +18,8 @@ _FRAME = struct.Struct("<BQ")  # codec, raw length
 
 
 class Codec(enum.Enum):
+    """The stream codecs a frame may declare."""
+
     NONE = 0
     ZLIB = 1
 
@@ -34,6 +36,7 @@ def compress(data: bytes, codec: Codec = Codec.ZLIB, level: int = 6) -> bytes:
 
 
 def decompress(blob: bytes) -> bytes:
+    """Invert :func:`compress`, validating the frame's recorded length."""
     codec_id, raw_len = _FRAME.unpack_from(blob, 0)
     body = blob[_FRAME.size :]
     codec = Codec(codec_id)

@@ -50,6 +50,8 @@ _SAMPLE_ID = "__sample_id"
 
 @dataclass
 class StripeStats:
+    """Byte and row accounting for one written stripe."""
+
     raw_bytes: int = 0
     compressed_bytes: int = 0
     num_rows: int = 0
@@ -63,18 +65,22 @@ class FileStats:
 
     @property
     def raw_bytes(self) -> int:
+        """Uncompressed stream bytes across every stripe."""
         return sum(s.raw_bytes for s in self.stripes)
 
     @property
     def compressed_bytes(self) -> int:
+        """Compressed stream bytes across every stripe."""
         return sum(s.compressed_bytes for s in self.stripes)
 
     @property
     def num_rows(self) -> int:
+        """Rows written across every stripe."""
         return sum(s.num_rows for s in self.stripes)
 
     @property
     def compression_ratio(self) -> float:
+        """Raw over compressed bytes (1.0 for an empty file)."""
         if self.compressed_bytes == 0:
             return 1.0
         return self.raw_bytes / self.compressed_bytes
@@ -108,6 +114,8 @@ class DwrfWriter:
         self.int_encoding = int_encoding
 
     def write(self, samples: list[Sample]) -> tuple[bytes, FileStats]:
+        """Serialize the rows into one file blob, ``stripe_rows`` rows
+        per stripe; returns the blob and its per-stripe accounting."""
         stats = FileStats()
         stripes: list[bytes] = []
         for start in range(0, len(samples), self.stripe_rows):
@@ -201,6 +209,7 @@ class DwrfReader:
 
     @property
     def num_stripes(self) -> int:
+        """Stripes in the file, known from the file header alone."""
         return len(self._stripe_offsets)
 
     @property
@@ -216,6 +225,8 @@ class DwrfReader:
         return self._stripe_rows[index]
 
     def read_stripe(self, index: int) -> list[Sample]:
+        """Fetch + decode one stripe back into rows, accounting the
+        bytes read and values decoded (the reader tier's fill costs)."""
         if not 0 <= index < self.num_stripes:
             raise IndexError(f"stripe {index} out of range")
         blob = self._blob
@@ -276,6 +287,7 @@ class DwrfReader:
         return rows
 
     def read_all(self) -> list[Sample]:
+        """Every row in the file, in stripe order (the serial scan)."""
         out: list[Sample] = []
         for i in range(self.num_stripes):
             out.extend(self.read_stripe(i))

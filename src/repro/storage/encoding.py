@@ -35,6 +35,8 @@ __all__ = [
 
 
 class IntEncoding(enum.Enum):
+    """The int64 stream encodings a DWRF column chunk may use."""
+
     PLAIN = 0
     VARINT = 1
     RLE = 2
@@ -48,6 +50,7 @@ def zigzag(values: np.ndarray) -> np.ndarray:
 
 
 def unzigzag(values: np.ndarray) -> np.ndarray:
+    """Exact inverse of :func:`zigzag`."""
     v = values.astype(np.uint64)
     return ((v >> np.uint64(1)) ^ (~(v & np.uint64(1)) + np.uint64(1))).astype(
         np.int64
@@ -165,6 +168,7 @@ def _dict_decode(data: bytes, count: int) -> np.ndarray:
 
 
 def encode_int64(values: np.ndarray, encoding: IntEncoding) -> bytes:
+    """Encode an int64 array as the given stream encoding's bytes."""
     values = np.ascontiguousarray(values, dtype=np.int64)
     if encoding is IntEncoding.PLAIN:
         return values.tobytes()
@@ -180,6 +184,8 @@ def encode_int64(values: np.ndarray, encoding: IntEncoding) -> bytes:
 def decode_int64(
     data: bytes, count: int, encoding: IntEncoding
 ) -> np.ndarray:
+    """Exact round-trip inverse of :func:`encode_int64` for ``count``
+    values."""
     if encoding is IntEncoding.PLAIN:
         if len(data) != count * 8:
             raise ValueError(

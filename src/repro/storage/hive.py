@@ -32,6 +32,7 @@ class PartitionInfo:
 
     @property
     def compression_ratio(self) -> float:
+        """Raw over compressed bytes (1.0 for an empty partition)."""
         if self.compressed_bytes == 0:
             return 1.0
         return self.raw_bytes / self.compressed_bytes
@@ -121,11 +122,13 @@ class HiveTable:
         ]
 
     def read_partition(self, partition: str) -> list[Sample]:
+        """Every row of the partition, in landed order (serial scan)."""
         out: list[Sample] = []
         for reader in self.open_readers(partition):
             out.extend(reader.read_all())
         return out
 
     def partition_stored_bytes(self, partition: str) -> int:
+        """Bytes the partition's files occupy on the filesystem."""
         info = self.partitions[partition]
         return sum(self.fs.size(p) for p in info.files)

@@ -15,6 +15,8 @@ __all__ = ["TectonicFS", "FSStats"]
 
 @dataclass
 class FSStats:
+    """Byte and operation counters for one filesystem instance."""
+
     bytes_written: int = 0
     bytes_read: int = 0
     read_ops: int = 0
@@ -29,6 +31,7 @@ class TectonicFS:
         self.stats = FSStats()
 
     def write(self, path: str, data: bytes) -> None:
+        """Persist one immutable file; counts the written bytes."""
         if path in self._files:
             raise FileExistsError(f"{path} already exists (files are immutable)")
         self._files[path] = data
@@ -36,6 +39,8 @@ class TectonicFS:
         self.stats.write_ops += 1
 
     def read(self, path: str, offset: int = 0, length: int | None = None) -> bytes:
+        """Read a byte range (the whole file by default); counts one
+        read op plus the bytes returned — Table 3's ingest accounting."""
         try:
             data = self._files[path]
         except KeyError:
@@ -48,12 +53,14 @@ class TectonicFS:
         return chunk
 
     def size(self, path: str) -> int:
+        """Stored size of one file in bytes."""
         try:
             return len(self._files[path])
         except KeyError:
             raise FileNotFoundError(path) from None
 
     def exists(self, path: str) -> bool:
+        """Whether a file is currently stored at ``path``."""
         return path in self._files
 
     def delete(self, path: str) -> None:
@@ -64,8 +71,10 @@ class TectonicFS:
             raise FileNotFoundError(path) from None
 
     def listdir(self, prefix: str) -> list[str]:
+        """Every stored path under ``prefix``, sorted."""
         return sorted(p for p in self._files if p.startswith(prefix))
 
     @property
     def total_stored_bytes(self) -> int:
+        """Bytes currently stored (deleted files no longer count)."""
         return sum(len(d) for d in self._files.values())

@@ -1,5 +1,7 @@
-"""Docs cannot rot: intra-repo markdown links must resolve, and every
-``python`` fenced snippet in README/docs must actually execute."""
+"""Docs cannot rot: intra-repo markdown links must resolve, every
+``python`` fenced snippet in README/docs must actually execute, and no
+page under ``docs/`` may be orphaned — each must be reachable by
+following links from the README or ``docs/architecture.md``."""
 
 import re
 from pathlib import Path
@@ -40,6 +42,45 @@ def test_intra_repo_links_resolve(md):
         if not path.exists():
             broken.append(target)
     assert not broken, f"{_doc_id(md)} has broken links: {broken}"
+
+
+def _linked_files(md: Path) -> set[Path]:
+    """Repo-internal files a markdown page links to (fragment-free)."""
+    out = set()
+    for target in _LINK_RE.findall(md.read_text()):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path = (md.parent / target.split("#", 1)[0]).resolve()
+        try:
+            path.relative_to(REPO_ROOT)
+        except ValueError:
+            continue
+        if path.is_file():
+            out.add(path)
+    return out
+
+
+def test_no_orphaned_docs_pages():
+    """Every page under docs/ must be reachable by following markdown
+    links from README.md or docs/architecture.md — a page nobody links
+    to is a page nobody reads, and it rots."""
+    roots = [REPO_ROOT / "README.md", REPO_ROOT / "docs" / "architecture.md"]
+    reachable = set(roots)
+    frontier = list(roots)
+    while frontier:
+        for target in _linked_files(frontier.pop()):
+            if target.suffix == ".md" and target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    orphans = sorted(
+        _doc_id(p)
+        for p in (REPO_ROOT / "docs").rglob("*.md")
+        if p not in reachable
+    )
+    assert not orphans, (
+        f"orphaned docs pages (unreachable from README.md or "
+        f"docs/architecture.md): {orphans}"
+    )
 
 
 @pytest.mark.parametrize("md", DOC_FILES, ids=_doc_id)

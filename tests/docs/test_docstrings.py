@@ -1,8 +1,9 @@
 """The documented-API contract, enforced without external tools: every
-public class, method, and function in the ``repro.reader`` and
-``repro.pipeline`` packages must carry a docstring.  CI's ruff job
-checks the same surface with the pydocstyle ``D`` subset; this test
-keeps the contract enforceable from a bare ``pytest`` run."""
+public class, method, and function in the data-path packages —
+``repro.reader``, ``repro.pipeline``, ``repro.scribe``,
+``repro.storage``, and ``repro.metrics`` — must carry a docstring.
+CI's ruff job checks the same surface with the pydocstyle ``D`` subset;
+this test keeps the contract enforceable from a bare ``pytest`` run."""
 
 import ast
 from pathlib import Path
@@ -12,7 +13,7 @@ import pytest
 SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 
 #: the packages whose public surface is under the docstring contract
-SCOPED_PACKAGES = ("reader", "pipeline")
+SCOPED_PACKAGES = ("reader", "pipeline", "scribe", "storage", "metrics")
 
 
 def _scoped_files():

@@ -1,0 +1,239 @@
+"""Multi-job sharing acceptance: functional isolation + wall-clock win.
+
+The two contract-level claims of the shared reader tier, end to end:
+every job's per-step losses under sharing are bit-identical to the same
+job run alone on its own fleet, and the shared tier's modeled
+wall-clock beats running the jobs in isolation back to back.
+"""
+
+import pytest
+
+from repro.datagen import rm1
+from repro.pipeline import (
+    PipelineConfig,
+    RecDToggles,
+    run_multi_job,
+    run_pipeline,
+)
+
+WIDTH = 16
+
+
+def _job_cfg(**kw) -> PipelineConfig:
+    kw.setdefault("workload", rm1(scale=0.25))
+    kw.setdefault("toggles", RecDToggles.baseline())
+    kw.setdefault("num_sessions", 60)
+    kw.setdefault("batch_size", 32)
+    kw.setdefault("train_batches", 2)
+    kw.setdefault("train_epochs", 3)
+    kw.setdefault("reader_executor", "inprocess")
+    return PipelineConfig(**kw)
+
+
+@pytest.fixture(scope="module")
+def two_jobs():
+    """A reader-heavy baseline job and a reader-light RecD job."""
+    return (
+        _job_cfg(seed=1),
+        _job_cfg(seed=2, toggles=RecDToggles.full()),
+    )
+
+
+@pytest.fixture(scope="module")
+def shared(two_jobs):
+    return run_multi_job(two_jobs, num_readers=WIDTH, names=["a", "b"])
+
+
+class TestFunctionalIsolation:
+    def test_losses_bit_identical_to_solo_runs(self, two_jobs, shared):
+        """The acceptance bar: sharing never changes training results —
+        each job's losses match the same config run alone through
+        run_pipeline on its own (serial) fleet."""
+        for name, config in zip(("a", "b"), two_jobs):
+            solo = run_pipeline(config)
+            assert (
+                shared.job(name).training.losses == solo.training.losses
+            ), f"job {name!r} diverged under sharing"
+
+    def test_jobs_scanned_their_own_epoch_plans(self, shared, two_jobs):
+        for name, config in zip(("a", "b"), two_jobs):
+            job = shared.job(name)
+            assert len(job.epoch_partitions) == config.train_epochs
+            assert job.fleet.merged.batches == (
+                config.train_batches * config.train_epochs
+            )
+
+    def test_single_job_tier_matches_run_pipeline(self, two_jobs):
+        """A one-job tier is just a fleet: same losses as run_pipeline."""
+        config = two_jobs[0]
+        alone = run_multi_job([config], num_readers=4)
+        solo = run_pipeline(config)
+        assert alone.jobs[0].training.losses == solo.training.losses
+
+    def test_materialized_jobs_report_streaming_false(self):
+        """A streaming=False config trains bit-identically and its
+        overlap bookkeeping says so, matching run_pipeline's."""
+        config = _job_cfg(seed=1, streaming=False, train_epochs=1)
+        res = run_multi_job([config], num_readers=2)
+        assert res.jobs[0].overlap.streaming is False
+        assert (
+            res.jobs[0].training.losses == run_pipeline(config).training.losses
+        )
+
+
+class TestWallClock:
+    def test_shared_tier_beats_sum_of_isolated_runs(self, two_jobs, shared):
+        """The acceptance bar: the tier runs jobs concurrently on one
+        pool, so its modeled wall-clock beats the two jobs run in
+        isolation back to back on the same width."""
+        iso = [
+            run_multi_job([config], num_readers=WIDTH)
+            for config in two_jobs
+        ]
+        isolated_sum = sum(r.modeled_wall_seconds for r in iso)
+        assert shared.modeled_wall_seconds < isolated_sum
+
+    def test_stall_weighted_beats_static_half_split(self, two_jobs, shared):
+        """Demand-following allocation beats carving the pool into two
+        static half-width fleets (examples/multi_job_sharing.py shows
+        the same comparison with commentary)."""
+        halves = [
+            run_multi_job([config], num_readers=WIDTH // 2)
+            for config in two_jobs
+        ]
+        concurrent_halves = max(r.modeled_wall_seconds for r in halves)
+        assert shared.modeled_wall_seconds < concurrent_halves
+
+    def test_allocation_follows_reader_demand(self, shared):
+        """After the cold-start round the reader-heavy baseline job
+        holds more of the pool than the RecD job."""
+        for rnd in shared.tier.rounds[1:]:
+            assert rnd.allocation["a"] > rnd.allocation["b"]
+            assert sum(rnd.allocation.values()) == WIDTH
+
+
+class TestReports:
+    def test_per_job_overlap_fractions_attribute_everything(self, shared):
+        for name in ("a", "b"):
+            ov = shared.tier.per_job[name]
+            assert ov.wall_seconds > 0
+            assert sum(ov.fractions.values()) == pytest.approx(1.0)
+            assert shared.job(name).overlap.wall_seconds == ov.wall_seconds
+
+    def test_tier_report_rows_cover_every_round_and_job(self, shared):
+        rows = shared.tier.as_rows()
+        assert len(rows) == len(shared.tier.rounds) * 2
+        assert {r["job"] for r in rows} == {"a", "b"}
+        assert all(r["workers"] > 0 for r in rows)  # nobody starved
+
+    def test_deterministic_across_runs(self, two_jobs, shared):
+        again = run_multi_job(two_jobs, num_readers=WIDTH, names=["a", "b"])
+        assert again.tier.as_rows() == shared.tier.as_rows()
+        assert (
+            again.modeled_wall_seconds == shared.modeled_wall_seconds
+        )
+
+
+class TestAutoscale:
+    def test_pool_resizes_from_aggregate_stall(self, two_jobs):
+        """Under-provisioned shared pool: the tier autoscaler grows the
+        pool from the tier-level (aggregate) overlap, and the trace
+        records every decision."""
+        res = run_multi_job(
+            two_jobs,
+            num_readers=2,
+            autoscale=True,
+            max_readers=32,
+            names=["a", "b"],
+        )
+        trace = res.tier.scaling
+        assert trace is not None
+        assert trace.decisions[0].action == "grow"
+        assert res.tier.widths[0] == 2
+        assert res.tier.widths[-1] > 2
+
+    def test_autoscaled_losses_still_bit_identical(self, two_jobs, shared):
+        res = run_multi_job(
+            two_jobs,
+            num_readers=2,
+            autoscale=True,
+            max_readers=32,
+            names=["a", "b"],
+        )
+        for name in ("a", "b"):
+            assert (
+                res.job(name).training.losses
+                == shared.job(name).training.losses
+            )
+
+
+class TestValidation:
+    def test_rejects_retention_configs(self, two_jobs):
+        retained = _job_cfg(
+            seed=1, num_partitions=4, retain_partitions=2
+        )
+        with pytest.raises(ValueError, match="retain_partitions"):
+            run_multi_job([retained], num_readers=4)
+
+    def test_rejects_per_job_autoscale(self):
+        """Per-job autoscale has no per-job fleet to act on; the knob
+        belongs to run_multi_job (the shared pool)."""
+        scaled = _job_cfg(seed=1, autoscale=True)
+        with pytest.raises(ValueError, match="pass autoscale=True to"):
+            run_multi_job([scaled], num_readers=4)
+
+    def test_rejects_bad_names(self, two_jobs):
+        with pytest.raises(ValueError, match="duplicate"):
+            run_multi_job(two_jobs, num_readers=4, names=["x", "x"])
+        with pytest.raises(ValueError, match="names for"):
+            run_multi_job(two_jobs, num_readers=4, names=["x"])
+        with pytest.raises(ValueError, match="at least one"):
+            run_multi_job([], num_readers=4)
+        with pytest.raises(KeyError, match="no job named"):
+            run_multi_job(
+                [two_jobs[0]], num_readers=2, names=["a"]
+            ).job("zzz")
+
+
+class TestCli:
+    def test_multijob_command(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "multijob",
+                    "--job",
+                    "RM1:seed=1:sessions=50",
+                    "--job",
+                    "RM1:recd:seed=2:sessions=50",
+                    "--num-readers",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "shared reader tier: 2 jobs" in out
+        assert "round 0" in out
+        assert "job1 (RM1, RecD)" in out
+
+    def test_multijob_clones(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                ["multijob", "--jobs", "2", "--sessions", "50",
+                 "--num-readers", "4"]
+            )
+            == 0
+        )
+        assert "2 jobs" in capsys.readouterr().out
+
+    def test_bad_job_spec(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["multijob", "--job", "RM9"])
+        with pytest.raises(SystemExit):
+            main(["multijob", "--job", "RM1:bogus=1"])

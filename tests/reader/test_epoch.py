@@ -195,3 +195,27 @@ class TestIterEpochDeterminism:
         assert rep.merged.batches == len(batches)
         assert rep.num_shards == len(rep.workers)
         assert rep.wall_seconds > 0.0
+
+
+class TestNonLivePartitionErrors:
+    """A dead epoch plan must name each offending partition, say *why*
+    it is not live, and show the current live window."""
+
+    def test_never_landed_partition_is_named(self):
+        table, names = _landed_multi(seed=12)
+        fleet = ReaderFleet(2, _plain_cfg(), executor="inprocess")
+        with pytest.raises(KeyError) as err:
+            list(fleet.iter_epoch(table, [*names, "p99"]))
+        message = str(err.value)
+        assert "'p99' (never landed)" in message
+        assert f"current live window: {names}" in message
+
+    def test_retention_dropped_partition_is_distinguished(self):
+        table, names = _landed_multi(seed=13)
+        table.drop_partition(names[0])
+        fleet = ReaderFleet(2, _plain_cfg(), executor="inprocess")
+        with pytest.raises(KeyError) as err:
+            list(fleet.iter_epoch(table, names))
+        message = str(err.value)
+        assert f"{names[0]!r} (dropped by retention)" in message
+        assert f"current live window: {names[1:]}" in message
