@@ -12,16 +12,18 @@ hybrid-parallel distributed-training simulator.
 
 Quickstart::
 
-    from repro.pipeline import PipelineConfig, RecDToggles, run_pipeline
+    from repro.pipeline import DataSpec, JobSpec, RecDToggles, Session
     from repro.datagen import rm1
 
-    result = run_pipeline(
-        PipelineConfig(workload=rm1(scale=0.5), toggles=RecDToggles.full())
-    )
+    result = Session(
+        JobSpec(data=DataSpec(workload=rm1(scale=0.5),
+                              toggles=RecDToggles.full()))
+    ).run()
     print(result.trainer_qps, result.storage_compression)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+The flat legacy surface (``PipelineConfig`` + ``run_pipeline`` /
+``run_multi_job``) adapts onto the same ``Session`` engine,
+bit-identical — ``docs/api.md`` has the migration table.
 """
 
 from . import (

@@ -21,8 +21,14 @@ import sys
 
 from .datagen import rm1, rm2, rm3
 from .pipeline import (
-    PipelineConfig,
+    DataSpec,
+    JobSpec,
+    ReaderSpec,
     RecDToggles,
+    RetentionSpec,
+    ScalingSpec,
+    Session,
+    TrainSpec,
     dedupe_factor_model_sweep,
     fig3_session_histogram,
     fig4_duplication,
@@ -31,8 +37,6 @@ from .pipeline import (
     fig9_ablation,
     fig10_reader_cpu,
     partial_vs_exact,
-    run_multi_job,
-    run_pipeline,
     scribe_sharding_compression,
     single_node_speedup,
     table2_resource_util,
@@ -164,26 +168,72 @@ def _cmd_partial(args) -> int:
     return 0
 
 
-def _cmd_pipeline(args) -> int:
-    factory = _WORKLOADS[args.rm]
-    toggles = RecDToggles.full() if args.recd else RecDToggles.baseline()
-    res = run_pipeline(
-        PipelineConfig(
-            workload=factory(args.scale),
+def _spec_from_args(
+    args,
+    *,
+    shared: bool = False,
+    rm: str | None = None,
+    recd: bool | None = None,
+    scale: float | None = None,
+    name: str | None = None,
+    weight: float = 1.0,
+    **overrides,
+) -> JobSpec:
+    """One :class:`JobSpec` from the spec-derived argument groups.
+
+    Shared by ``pipeline`` (one job) and ``multijob`` (clones and
+    ``--job`` specs): the flags each argument group contributes map
+    1:1 onto the spec the group is named after, and ``overrides`` are
+    per-job ``key=value`` refinements keyed like ``_JOB_SPEC_KEYS``.
+
+    With ``shared=True`` the pool-level knobs (``--num-readers``,
+    ``--autoscale``/``--target-stall``/``--max-readers``) stay off the
+    per-job spec — they size and scale the *shared pool*, which the
+    multijob command passes to ``Session(width=..., scaling=...)``.
+    """
+    rm = args.rm if rm is None else rm
+    recd = args.recd if recd is None else recd
+    scale = args.scale if scale is None else scale
+    toggles = RecDToggles.full() if recd else RecDToggles.baseline()
+    get = overrides.get
+    retain = get("retain_partitions", args.retain_partitions)
+    return JobSpec(
+        data=DataSpec(
+            workload=_WORKLOADS[rm](scale),
             toggles=toggles,
-            num_sessions=args.sessions,
-            seed=args.seed,
-            num_readers=args.num_readers,
+            num_sessions=get("num_sessions", args.sessions),
+            num_partitions=get("num_partitions", args.num_partitions),
+            seed=get("seed", args.seed),
+        ),
+        reader=ReaderSpec(
+            num_readers=1 if shared else args.num_readers,
             prefetch_depth=args.prefetch_depth,
-            num_partitions=args.num_partitions,
-            train_epochs=args.train_epochs,
+            executor=args.reader_executor,
             streaming=args.streaming,
-            autoscale=args.autoscale,
-            target_stall=args.target_stall,
-            max_readers=args.max_readers,
-            retain_partitions=args.retain_partitions,
-        )
+        ),
+        train=TrainSpec(
+            train_epochs=get("train_epochs", args.train_epochs),
+            train_batches=get("train_batches", args.train_batches),
+            batch_size=get("batch_size", None),
+        ),
+        scaling=(
+            ScalingSpec(
+                target_stall=args.target_stall,
+                max_readers=args.max_readers,
+            )
+            if args.autoscale and not shared
+            else None
+        ),
+        retention=(
+            RetentionSpec(window=retain) if retain is not None else None
+        ),
+        weight=weight,
+        name=name,
     )
+
+
+def _cmd_pipeline(args) -> int:
+    res = Session(_spec_from_args(args)).run()
     mode = "RecD" if args.recd else "baseline"
     print(f"{args.rm} ({mode}):")
     print(f"  samples landed      : {res.samples_landed}")
@@ -242,7 +292,7 @@ def _cmd_pipeline(args) -> int:
     return 0
 
 
-#: keys a ``--job`` spec may set, mapped to PipelineConfig fields
+#: keys a ``--job`` spec may set, mapped to (spec-override key, cast)
 _JOB_SPEC_KEYS = {
     "seed": ("seed", int),
     "sessions": ("num_sessions", int),
@@ -250,15 +300,17 @@ _JOB_SPEC_KEYS = {
     "batches": ("train_batches", int),
     "partitions": ("num_partitions", int),
     "batch_size": ("batch_size", int),
+    "retain": ("retain_partitions", int),
 }
 
 
-def _parse_job_spec(spec: str, args) -> PipelineConfig:
-    """One ``--job`` spec -> a PipelineConfig.
+def _parse_job_spec(spec: str, args, name: str) -> JobSpec:
+    """One ``--job`` spec -> a :class:`JobSpec`.
 
     Format: ``RM[:recd|baseline][:key=value ...]``, e.g.
-    ``RM2:recd:sessions=80:seed=3``.  Unset keys inherit the
-    subcommand's ``--scale/--sessions/--seed`` defaults.
+    ``RM2:recd:sessions=80:seed=3:weight=2``.  Unset keys inherit the
+    subcommand's argument-group defaults
+    (``--scale/--sessions/--seed/--train-epochs/...``).
     """
     parts = spec.split(":")
     rm = parts[0].upper()
@@ -268,67 +320,76 @@ def _parse_job_spec(spec: str, args) -> PipelineConfig:
             f"{sorted(_WORKLOADS)}, got {parts[0]!r}"
         )
     scale = args.scale
-    toggles = RecDToggles.baseline()
-    kw = {"num_sessions": args.sessions, "seed": args.seed}
+    recd = False
+    weight = 1.0
+    kw = {}
     for token in parts[1:]:
         if token == "recd":
-            toggles = RecDToggles.full()
+            recd = True
         elif token == "baseline":
-            toggles = RecDToggles.baseline()
+            recd = False
         elif "=" in token:
             key, value = token.split("=", 1)
             if key == "scale":
                 scale = float(value)
+            elif key == "weight":
+                weight = float(value)
             elif key in _JOB_SPEC_KEYS:
                 field, cast = _JOB_SPEC_KEYS[key]
                 kw[field] = cast(value)
             else:
                 raise SystemExit(
                     f"--job {spec!r}: unknown key {key!r}; known: "
-                    f"scale, {', '.join(sorted(_JOB_SPEC_KEYS))}"
+                    f"scale, weight, {', '.join(sorted(_JOB_SPEC_KEYS))}"
                 )
         else:
             raise SystemExit(
                 f"--job {spec!r}: unknown token {token!r} (expected "
                 "'recd', 'baseline', or key=value)"
             )
-    kw.setdefault("train_epochs", args.train_epochs)
-    kw.setdefault("train_batches", args.train_batches)
-    return PipelineConfig(workload=_WORKLOADS[rm](scale), toggles=toggles, **kw)
+    return _spec_from_args(
+        args,
+        shared=True,
+        rm=rm,
+        recd=recd,
+        scale=scale,
+        name=name,
+        weight=weight,
+        **kw,
+    )
 
 
 def _cmd_multijob(args) -> int:
     if args.job:
-        configs = [_parse_job_spec(spec, args) for spec in args.job]
+        specs = [
+            _parse_job_spec(spec, args, f"job{i}")
+            for i, spec in enumerate(args.job)
+        ]
         labels = [spec.split(":")[0].upper() for spec in args.job]
     elif args.jobs <= 0:
         raise SystemExit(f"--jobs must be positive, got {args.jobs}")
     else:
-        factory = _WORKLOADS[args.rm]
-        toggles = RecDToggles.full() if args.recd else RecDToggles.baseline()
-        configs = [
-            PipelineConfig(
-                workload=factory(args.scale),
-                toggles=toggles,
-                num_sessions=args.sessions,
-                seed=args.seed + i,
-                train_epochs=args.train_epochs,
-                train_batches=args.train_batches,
+        specs = [
+            _spec_from_args(
+                args, shared=True, seed=args.seed + i, name=f"job{i}"
             )
             for i in range(args.jobs)
         ]
         labels = [args.rm] * args.jobs
-    names = [f"job{i}" for i in range(len(configs))]
 
-    res = run_multi_job(
-        configs,
-        num_readers=args.num_readers,
-        names=names,
+    res = Session(
+        specs,
+        width=args.num_readers,
         policy=args.policy,
-        autoscale=args.autoscale,
-        target_stall=args.target_stall,
-        max_readers=args.max_readers,
-    )
+        scaling=(
+            ScalingSpec(
+                target_stall=args.target_stall,
+                max_readers=args.max_readers,
+            )
+            if args.autoscale
+            else None
+        ),
+    ).run()
     tier = res.tier
     print(
         f"shared reader tier: {len(res.jobs)} jobs, width "
@@ -392,7 +453,91 @@ _COMMANDS = {
 }
 
 
+def _add_data_args(p, *, shared: bool) -> None:
+    """The ``DataSpec`` argument group (what lands)."""
+    g = p.add_argument_group(
+        "data (DataSpec)", "workload, toggles, and landing shape"
+    )
+    suffix = " for --jobs clones" if shared else ""
+    g.add_argument("--rm", choices=sorted(_WORKLOADS), default="RM1",
+                   help=f"workload{suffix}")
+    g.add_argument("--recd", action="store_true",
+                   help=f"enable all RecD optimizations (O1-O7){suffix}")
+    g.add_argument("--num-partitions", type=int, default=1,
+                   help="time partitions the table lands as")
+
+
+def _add_reader_args(p, *, shared: bool) -> None:
+    """The ``ReaderSpec`` argument group (how the fleet scans)."""
+    g = p.add_argument_group(
+        "reader fleet (ReaderSpec)", "width, prefetch, executor, hand-off"
+    )
+    g.add_argument("--num-readers", type=int, default=8 if shared else 1,
+                   help="shared pool width (workers serving every "
+                        "registered job)" if shared else
+                        "reader-fleet width (sharded workers)")
+    g.add_argument("--prefetch-depth", type=int, default=2,
+                   help="bounded prefetch per reader worker")
+    g.add_argument("--reader-executor",
+                   choices=("auto", "process", "inprocess"),
+                   default="auto",
+                   help="fleet executor (batch stream is bit-identical "
+                        "for all three)")
+    g.add_argument("--streaming",
+                   action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="stream reader batches into the trainers "
+                        "(--no-streaming materializes first)")
+
+
+def _add_train_args(p, *, shared: bool) -> None:
+    """The ``TrainSpec`` argument group (what the trainers run)."""
+    g = p.add_argument_group(
+        "training (TrainSpec)", "epochs and per-epoch batch caps"
+    )
+    per_job = " per job" if shared else ""
+    g.add_argument("--train-epochs", type=int, default=2 if shared else 1,
+                   help=f"epochs over the landed partitions{per_job}")
+    g.add_argument("--train-batches", type=int, default=2,
+                   help=f"per-epoch batch cap{per_job}")
+
+
+def _add_scaling_args(p, *, shared: bool) -> None:
+    """The ``ScalingSpec`` argument group (adaptive width)."""
+    g = p.add_argument_group(
+        "autoscaling (ScalingSpec)", "adaptive fleet/pool width"
+    )
+    what = "shared pool between rounds from the aggregate stall" if shared \
+        else "reader fleet between epochs from the modeled overlap"
+    g.add_argument("--autoscale", action="store_true",
+                   help=f"resize the {what} "
+                        "(--num-readers sets the initial width)")
+    g.add_argument("--target-stall", type=float, default=0.10,
+                   help="autoscaler target band: grow while the "
+                        "reader-stall fraction exceeds this")
+    g.add_argument("--max-readers", type=int, default=32,
+                   help="autoscaler upper bound on the width")
+
+
+def _add_retention_args(p) -> None:
+    """The ``RetentionSpec`` argument group (rolling window)."""
+    g = p.add_argument_group(
+        "retention (RetentionSpec)", "rolling-window partition lifecycle"
+    )
+    g.add_argument("--retain-partitions", type=int, default=None,
+                   help="rolling-window retention: keep at most this "
+                        "many partitions live; between epochs the next "
+                        "partition lands and the oldest is dropped")
+
+
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro`` argument parser.
+
+    The ``pipeline`` and ``multijob`` subcommands share spec-derived
+    argument groups — one group per spec dataclass in
+    :mod:`repro.pipeline.spec` — so the CLI surface mirrors the
+    :class:`~repro.pipeline.spec.JobSpec` composition 1:1.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate RecD (MLSys 2023) experiments.",
@@ -408,72 +553,31 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sessions-large", type=int, default=50_000,
                        help="sessions for statistics-only experiments")
         p.add_argument("--seed", type=int, default=0)
-        if name == "pipeline":
-            p.add_argument("--rm", choices=sorted(_WORKLOADS), default="RM1")
-            p.add_argument("--recd", action="store_true",
-                           help="enable all RecD optimizations (O1-O7)")
-            p.add_argument("--num-readers", type=int, default=1,
-                           help="reader-fleet width (sharded workers)")
-            p.add_argument("--prefetch-depth", type=int, default=2,
-                           help="bounded prefetch per reader worker")
-            p.add_argument("--num-partitions", type=int, default=1,
-                           help="time partitions the table lands as")
-            p.add_argument("--train-epochs", type=int, default=1,
-                           help="epochs over the landed partitions")
-            p.add_argument("--streaming",
-                           action=argparse.BooleanOptionalAction,
-                           default=True,
-                           help="stream reader batches into the trainers "
-                                "(--no-streaming materializes first)")
-            p.add_argument("--autoscale", action="store_true",
-                           help="resize the reader fleet between epochs "
-                                "from the measured/modeled overlap "
-                                "(--num-readers sets the initial width)")
-            p.add_argument("--target-stall", type=float, default=0.10,
-                           help="autoscaler target band: grow while "
-                                "reader-stall fraction exceeds this")
-            p.add_argument("--max-readers", type=int, default=32,
-                           help="autoscaler upper bound on fleet width")
-            p.add_argument("--retain-partitions", type=int, default=None,
-                           help="rolling-window retention: keep at most "
-                                "this many partitions live; between "
-                                "epochs the next partition lands and "
-                                "the oldest is dropped")
+        if name in ("pipeline", "multijob"):
+            shared = name == "multijob"
+            _add_data_args(p, shared=shared)
+            _add_reader_args(p, shared=shared)
+            _add_train_args(p, shared=shared)
+            _add_scaling_args(p, shared=shared)
+            _add_retention_args(p)
         if name == "multijob":
-            p.add_argument("--rm", choices=sorted(_WORKLOADS), default="RM1",
-                           help="workload for --jobs clones")
-            p.add_argument("--recd", action="store_true",
-                           help="enable all RecD optimizations (O1-O7) "
-                                "for --jobs clones")
-            p.add_argument("--jobs", type=int, default=2,
+            g = p.add_argument_group(
+                "job set (JobSpec)", "which jobs share the pool"
+            )
+            g.add_argument("--jobs", type=int, default=2,
                            help="run this many clones of the base job "
                                 "(seeds seed..seed+N-1) when no --job "
                                 "specs are given")
-            p.add_argument("--job", action="append", default=[],
+            g.add_argument("--job", action="append", default=[],
                            metavar="SPEC",
                            help="one job spec: RM[:recd|baseline]"
                                 "[:key=value ...] with keys scale, seed, "
                                 "sessions, epochs, batches, partitions, "
-                                "batch_size; repeatable")
-            p.add_argument("--num-readers", type=int, default=8,
-                           help="shared pool width (workers serving "
-                                "every registered job)")
-            p.add_argument("--policy", choices=("stall_weighted",
+                                "batch_size, retain, weight; repeatable")
+            g.add_argument("--policy", choices=("stall_weighted",
                                                 "round_robin"),
                            default="stall_weighted",
                            help="worker-allocation policy")
-            p.add_argument("--train-epochs", type=int, default=2,
-                           help="default epochs per job")
-            p.add_argument("--train-batches", type=int, default=2,
-                           help="default per-epoch batch cap per job")
-            p.add_argument("--autoscale", action="store_true",
-                           help="resize the shared pool between rounds "
-                                "from the aggregate stall")
-            p.add_argument("--target-stall", type=float, default=0.10,
-                           help="tier autoscaler aggregate-stall band")
-            p.add_argument("--max-readers", type=int, default=32,
-                           help="tier autoscaler upper bound on pool "
-                                "width")
     return parser
 
 

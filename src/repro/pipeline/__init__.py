@@ -1,4 +1,17 @@
-"""End-to-end pipeline orchestration and per-figure experiment drivers."""
+"""End-to-end pipeline orchestration and per-figure experiment drivers.
+
+Two run surfaces share one engine:
+
+* the **spec surface** (preferred) — compose a
+  :class:`~repro.pipeline.spec.JobSpec` from small spec dataclasses
+  (:class:`DataSpec`, :class:`ReaderSpec`, :class:`TrainSpec`,
+  :class:`ScalingSpec`, :class:`RetentionSpec`) and execute one or many
+  with :class:`~repro.pipeline.session.Session`;
+* the **legacy surface** — the flat :class:`PipelineConfig` through
+  :func:`run_pipeline` / :func:`run_multi_job`, thin adapters over the
+  same ``Session`` (bit-identical outputs; see ``docs/api.md`` for the
+  field-by-field migration table).
+"""
 
 from .config import PipelineConfig, RecDToggles
 from .experiments import (
@@ -34,10 +47,26 @@ from .runner import (
     plan_retention_windows,
     run_pipeline,
 )
+from .session import Session
+from .spec import (
+    DataSpec,
+    JobSpec,
+    ReaderSpec,
+    RetentionSpec,
+    ScalingSpec,
+    TrainSpec,
+)
 
 __all__ = [
     "RecDToggles",
     "PipelineConfig",
+    "DataSpec",
+    "ReaderSpec",
+    "TrainSpec",
+    "ScalingSpec",
+    "RetentionSpec",
+    "JobSpec",
+    "Session",
     "PipelineResult",
     "run_pipeline",
     "build_trainer",

@@ -166,32 +166,14 @@ class PipelineConfig:
     def effective_batch_size(self) -> int:
         """The run's batch size: the override, else the workload's
         per-path (baseline vs RecD) default."""
-        if self.batch_size is not None:
-            return self.batch_size
-        w = self.workload
-        return (
-            w.recd_batch_size if self.toggles.o3_ikjt else w.baseline_batch_size
-        )
+        # Delegates through the spec surface so the derivation exists
+        # exactly once (imported lazily: spec.py imports this module).
+        from .spec import JobSpec
+
+        return JobSpec.from_legacy(self).effective_batch_size
 
     def dataloader_config(self) -> DataLoaderConfig:
         """The job's DataLoader spec under the current toggles."""
-        w = self.workload
-        if self.toggles.o3_ikjt:
-            plain = tuple(
-                f.name
-                for f in w.schema.sparse
-                if f.name not in w.dedup_feature_names
-            )
-            return DataLoaderConfig(
-                batch_size=self.effective_batch_size,
-                sparse_features=plain,
-                dedup_sparse_features=w.dedup_groups,
-                dense_features=tuple(w.schema.dense_names),
-                transforms=self.transforms,
-            )
-        return DataLoaderConfig(
-            batch_size=self.effective_batch_size,
-            sparse_features=tuple(w.schema.sparse_names),
-            dense_features=tuple(w.schema.dense_names),
-            transforms=self.transforms,
-        )
+        from .spec import JobSpec
+
+        return JobSpec.from_legacy(self).dataloader_config()

@@ -1,81 +1,45 @@
-"""Many trainer jobs sharing one reader tier, end to end.
+"""Many trainer jobs sharing one reader tier: ``run_multi_job``.
 
 :func:`run_multi_job` is the multi-job counterpart of
-:func:`~repro.pipeline.runner.run_pipeline`: it lands each job's table
-and builds each job's trainer exactly as a single-job run would, then
-hands every job to one :class:`~repro.reader.tier_scheduler.SharedReaderTier`
-— one pool of reader workers multiplexed across all jobs' epochs.
+:func:`~repro.pipeline.runner.run_pipeline`: every job's table is
+landed and its trainer built exactly as a single-job run would, then
+one :class:`~repro.reader.tier_scheduler.SharedReaderTier` — one pool
+of reader workers — is multiplexed across all jobs' epochs.
 
-Two guarantees fall out of the construction:
+Since the ``JobSpec``/``Session`` redesign this module is a thin
+adapter: each flat config converts via
+:meth:`~repro.pipeline.spec.JobSpec.from_legacy` and a multi-job
+:class:`~repro.pipeline.session.Session` runs the shared epoch loop.
+Because that loop is the *same* engine single-job runs use, the
+restrictions the old dedicated wiring imposed are gone:
 
-* **Functional isolation** — a job's batch content never depends on how
-  many workers it was leased, so every job's per-step losses are
-  bit-identical to running that job alone through ``run_pipeline``.
-* **Wall-clock sharing wins** — jobs' epochs run concurrently on
-  disjoint worker subsets, so the tier's modeled wall-clock is bounded
-  by its slowest job per round rather than the sum of jobs, and the
-  stall-weighted allocation shifts workers from reader-light jobs to
-  reader-heavy ones (``examples/multi_job_sharing.py`` measures both
-  effects).
+* **Rolling-window retention** (``retain_partitions`` /
+  :class:`~repro.pipeline.spec.RetentionSpec`) now works under sharing
+  — each job lands its next window and ages out expired partitions
+  immediately before each of its scheduled epochs, and its losses stay
+  bit-identical to the equivalent solo retention run.
+* **Per-job autoscale** no longer raises: a job's scaling intent
+  contributes to the shared pool's autoscaler (there is still exactly
+  one pool-level width; tightest ``target_stall`` and widest
+  ``max_readers`` among scaling jobs win).
+* **Per-job weights** bias the stall-weighted allocator toward
+  priority jobs (``weights=``), never changing batch content.
 
-Rolling-window retention (``retain_partitions``) is not yet supported
-under sharing — each job's table must be fully landed up front.
+The two guarantees of the original construction are preserved:
+functional isolation (per-job losses bit-identical to solo runs at any
+width/policy) and the wall-clock sharing win (rounds finish with their
+slowest job, not the sum of jobs).
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
 
-from ..distributed.trainer import TrainingReport
-from ..metrics.overlap import OverlapReport
-from ..metrics.tier import TierReport
-from ..reader.fleet import FleetReport
-from ..reader.tier_scheduler import SharedReaderTier, TierJob
 from .config import PipelineConfig
-from .runner import _validate_epoch_batches, build_trainer, land_table
+from .session import JobResult, MultiJobResult, Session
+from .spec import JobSpec, ScalingSpec
 
 __all__ = ["JobResult", "MultiJobResult", "run_multi_job"]
-
-
-@dataclass
-class JobResult:
-    """One job's measurements from a shared-tier run."""
-
-    name: str
-    config: PipelineConfig
-    #: the job's trainer report — per-step losses bit-identical to the
-    #: same config run alone through ``run_pipeline``
-    training: TrainingReport
-    #: the job's reader measurements merged across every round it ran
-    fleet: FleetReport
-    #: the job's modeled overlap attribution, merged across rounds
-    overlap: OverlapReport
-    #: which partitions each of the job's epochs scanned
-    epoch_partitions: list[list[str]]
-    samples_landed: int
-
-
-@dataclass
-class MultiJobResult:
-    """Every job's measurements plus the tier-level schedule."""
-
-    jobs: list[JobResult]
-    tier: TierReport
-
-    def job(self, name: str) -> JobResult:
-        """Look one job's result up by name."""
-        for job in self.jobs:
-            if job.name == name:
-                return job
-        raise KeyError(
-            f"no job named {name!r}; jobs: {[j.name for j in self.jobs]}"
-        )
-
-    @property
-    def modeled_wall_seconds(self) -> float:
-        """The shared tier's modeled end-to-end wall-clock."""
-        return self.tier.modeled_wall_seconds
 
 
 def run_multi_job(
@@ -87,16 +51,15 @@ def run_multi_job(
     target_stall: float = 0.10,
     max_readers: int = 32,
     track_updates: bool = False,
+    weights: Sequence[float] | None = None,
 ) -> MultiJobResult:
     """Run many training jobs against one shared reader tier.
 
-    Each config is prepared exactly as :func:`run_pipeline` would — its
-    own generated trace, Scribe transport, ETL, landed table, and
-    seeded trainer — then registered with a
-    :class:`~repro.reader.tier_scheduler.SharedReaderTier` of
-    ``num_readers`` pooled workers.  The tier schedules every job's
-    epochs in rounds; each job's scheduled epoch streams that job's
-    fleet share straight into that job's trainer.
+    The legacy adapter over a multi-job
+    :class:`~repro.pipeline.session.Session`: each flat config becomes
+    a :class:`~repro.pipeline.spec.JobSpec` and the session schedules
+    every job's epochs in rounds over one ``num_readers``-wide pool.
+    New code should build the specs directly.
 
     Args:
         configs: one :class:`PipelineConfig` per job.
@@ -107,113 +70,55 @@ def run_multi_job(
         policy: worker-allocation policy (``"stall_weighted"`` or
             ``"round_robin"``).
         autoscale: let the tier resize the shared pool between rounds
-            from the aggregate stall.
+            from the aggregate stall (configs with their own
+            ``autoscale=True`` also turn this on).
         target_stall: the tier autoscaler's aggregate stall band.
         max_readers: the tier autoscaler's upper width bound.
         track_updates: forward per-step update tracking to every
             trainer.
+        weights: per-job scheduling weights (default 1.0 each): the
+            stall-weighted allocator scales each job's observed reader
+            demand by its weight, so priority jobs pull more of the
+            surplus pool without affecting batch content.
 
     Returns:
         A :class:`MultiJobResult` with per-job reports and the tier's
         :class:`~repro.metrics.tier.TierReport`.
 
     Raises:
-        ValueError: on an empty config list, mismatched/duplicate
-            names, a config using ``retain_partitions`` or per-job
-            ``autoscale`` (the tier scales the shared pool, not
-            per-job fleets), or any tier admission failure.
+        ValueError: on an empty config list, mismatched or duplicate
+            names, mismatched weights, or any tier admission failure.
     """
     configs = list(configs)
     if not configs:
         raise ValueError("run_multi_job needs at least one config")
-    if names is None:
-        names = [f"job{i}" for i in range(len(configs))]
-    names = list(names)
-    if len(names) != len(configs):
+    if weights is None:
+        weights = [1.0] * len(configs)
+    weights = list(weights)
+    if len(weights) != len(configs):
         raise ValueError(
-            f"{len(names)} names for {len(configs)} configs"
+            f"{len(weights)} weights for {len(configs)} configs"
         )
-    if len(set(names)) != len(names):
-        raise ValueError(f"duplicate job names: {names}")
-    for name, config in zip(names, configs):
-        if config.retain_partitions is not None:
-            raise ValueError(
-                f"job {name!r} sets retain_partitions, which is not "
-                "supported under multi-job sharing yet: tables must be "
-                "fully landed before the tier starts"
-            )
-        if config.autoscale:
-            raise ValueError(
-                f"job {name!r} sets autoscale, but under sharing there "
-                "is no per-job fleet to scale — pass autoscale=True to "
-                "run_multi_job itself to resize the shared pool from "
-                "aggregate stall"
-            )
-
-    tier = SharedReaderTier(
-        num_readers,
-        policy=policy,
-        autoscale=autoscale,
-        target_stall=target_stall,
-        max_readers=max_readers,
-    )
-
-    trainers = {}
-    prepared = {}
-    for name, config in zip(names, configs):
-        table, scribe_stats, ingest_bytes, partitions, samples = land_table(
-            config
+    specs = [
+        JobSpec.from_legacy(
+            config, track_updates=track_updates, weight=weight
         )
-        _validate_epoch_batches(config, partitions)
-        trainer = build_trainer(config)
-        trainers[name] = trainer
-        window = [p.name for p in partitions]
-        epochs = [list(window) for _ in range(config.train_epochs)]
-        prepared[name] = (config, epochs, len(samples))
-
-        def consume(
-            epoch_idx,
-            source,
-            trainer=trainer,
-            materialize=not config.streaming,
-        ):
-            """Feed one scheduled epoch into this job's trainer; return
-            the epoch's modeled trainer-busy seconds."""
-            steps_before = len(trainer.report.iterations)
-            if materialize:
-                source = list(source)
-            trainer.run(source, track_updates=track_updates)
-            return sum(
-                it.iteration_seconds
-                for it in trainer.report.iterations[steps_before:]
-            )
-
-        tier.register(
-            TierJob(
-                name=name,
-                table=table,
-                config=config.dataloader_config(),
-                epochs=epochs,
-                max_batches=config.train_batches,
-                consume=consume,
-                prefetch_depth=config.prefetch_depth,
-                executor=config.reader_executor,
-                streaming=config.streaming,
-            )
-        )
-
-    report = tier.run()
-    per_job = report.per_job
-    jobs = [
-        JobResult(
-            name=name,
-            config=prepared[name][0],
-            training=trainers[name].report,
-            fleet=tier.job_fleets[name],
-            overlap=per_job[name],
-            epoch_partitions=prepared[name][1],
-            samples_landed=prepared[name][2],
-        )
-        for name in names
+        for config, weight in zip(configs, weights)
     ]
-    return MultiJobResult(jobs=jobs, tier=report)
+    session = Session(
+        specs,
+        width=num_readers,
+        policy=policy,
+        scaling=(
+            ScalingSpec(target_stall=target_stall, max_readers=max_readers)
+            if autoscale
+            else None
+        ),
+        names=names,
+    )
+    result = session.run()
+    # Hand the callers back their exact config objects (to_legacy() is
+    # an equal reconstruction, but identity is cheaper to reason about).
+    for job, config in zip(result.jobs, configs):
+        job.config = config
+    return result

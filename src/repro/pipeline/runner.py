@@ -1,54 +1,40 @@
-"""The end-to-end pipeline runner: Figure 1, in miniature.
+"""The single-job entry point: ``run_pipeline``, now a thin adapter.
 
-Runs one configuration through every stage the paper's Figure 1 shows —
-inference logging -> Scribe (O1) -> ETL join/cluster (O2) -> Hive/DWRF on
-Tectonic -> reader tier (O3/O4) -> distributed trainers (O5–O7) — and
-returns the per-stage measurements every evaluation figure draws from.
+Runs one flat :class:`~repro.pipeline.config.PipelineConfig` through
+every stage the paper's Figure 1 shows — inference logging -> Scribe
+(O1) -> ETL join/cluster (O2) -> Hive/DWRF on Tectonic -> reader tier
+(O3/O4) -> distributed trainers (O5–O7) — and returns the per-stage
+measurements every evaluation figure draws from.
 
-The reader→trainer hand-off is **streaming** by default: each epoch the
-reader fleet's batch iterator feeds the trainers directly, so reader
-decode overlaps trainer steps and the run's wall-clock can be attributed
-to reader-stall vs trainer-stall (:class:`~repro.metrics.OverlapReport`).
-``streaming=False`` materializes every batch first — bit-identical
-training results, no overlap — for A/B comparison.
+Since the ``JobSpec``/``Session`` redesign the execution loop lives in
+:mod:`~repro.pipeline.session`: this module converts the flat config
+via :meth:`~repro.pipeline.spec.JobSpec.from_legacy` and runs a
+one-job :class:`~repro.pipeline.session.Session`, which is
+bit-identical to the historical dedicated loop at every width, policy,
+and lifecycle-knob combination.  ``run_pipeline`` keeps working
+unchanged for existing callers; new code should construct a
+:class:`~repro.pipeline.spec.JobSpec` and run a ``Session`` directly
+(see ``docs/api.md``).
 
-Two lifecycle knobs extend the loop beyond a static table scan:
-
-* ``autoscale=True`` puts a
-  :class:`~repro.reader.autoscale.ReaderAutoscaler` in charge of the
-  fleet width: after every epoch it consumes a *modeled* overlap report
-  (deterministic, from the reader cost model and the trainer's modeled
-  step times) and resizes the fleet for the next epoch, recording each
-  decision in a :class:`~repro.metrics.ScalingTrace`.
-* ``retain_partitions=K`` turns the landed table into a rolling window:
-  only ``K`` time partitions are live at once; between epochs the next
-  partition lands and the oldest is dropped (``drop_partition``), and
-  each epoch's ``plan_epoch``/``iter_epoch`` scan only the live window —
-  the production land→train→age lifecycle.
+The structural helpers (:func:`land_table`, :func:`build_trainer`,
+:func:`plan_retention_windows`) and the result type
+(:class:`PipelineResult`) are re-exported from the session module so
+their historical import path stays valid.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+import warnings
 
-from ..datagen.generator import TraceConfig, TraceGenerator
-from ..datagen.session import Sample
-from ..distributed.costmodel import sim_cluster
-from ..distributed.trainer import DistributedTrainer, TrainingReport
-from ..etl.pipeline import ETLConfig, ETLJob
-from ..metrics.overlap import OverlapReport
-from ..metrics.scaling import ScalingTrace
-from ..reader.autoscale import ReaderAutoscaler
-from ..reader.fleet import FleetReport, ReaderFleet
-from ..reader.node import ReaderReport
-from ..scribe.bus import ScribeCluster, ScribeStats
-from ..scribe.message import split_sample
-from ..scribe.sharding import ShardKeyPolicy
-from ..storage.hive import HiveTable, PartitionInfo
-from ..storage.tectonic import TectonicFS
-from ..trainer.model import DLRM, DLRMConfig
 from .config import PipelineConfig
+from .session import (
+    PipelineResult,
+    Session,
+    build_trainer,
+    land_table,
+    plan_retention_windows,
+)
+from .spec import JobSpec
 
 __all__ = [
     "PipelineResult",
@@ -59,246 +45,12 @@ __all__ = [
 ]
 
 
-@dataclass
-class PipelineResult:
-    """Every stage's measurements for one configuration."""
-
-    config: PipelineConfig
-    scribe: ScribeStats
-    scribe_ingest_bytes: int
-    #: the landed table rolled up across partitions (storage totals)
-    partition: PartitionInfo
-    reader: ReaderReport
-    training: TrainingReport
-    samples_landed: int
-    #: per-worker + queue-wait detail behind the merged ``reader`` report
-    fleet: FleetReport | None = None
-    #: per-partition landing detail behind the rolled-up ``partition``
-    #: (under retention: every partition that landed, dropped or not)
-    partitions: list[PartitionInfo] = field(default_factory=list)
-    #: wall-clock attribution of the train loop: reader-stall vs
-    #: trainer-stall (populated for streaming and materialized runs)
-    overlap: OverlapReport | None = None
-    #: which partitions each epoch actually scanned, in epoch order
-    epoch_partitions: list[list[str]] = field(default_factory=list)
-    #: partitions aged out by rolling-window retention, in drop order
-    dropped_partitions: list[str] = field(default_factory=list)
-    #: the autoscaler's decision history (``autoscale=True`` runs only)
-    scaling: ScalingTrace | None = None
-
-    # -- the Fig 7 headline metrics ------------------------------------------
-
-    @property
-    def trainer_qps(self) -> float:
-        """Mean trainer throughput in samples/second (Fig 7)."""
-        return self.training.mean_samples_per_second
-
-    @property
-    def reader_qps(self) -> float:
-        """Reader throughput in samples per CPU-second (Fig 7)."""
-        return self.reader.samples_per_cpu_second
-
-    @property
-    def storage_compression(self) -> float:
-        """Landed table compression ratio (raw / compressed bytes)."""
-        return self.partition.compression_ratio
-
-    @property
-    def scribe_compression(self) -> float:
-        """Scribe transport compression ratio."""
-        return self.scribe.compression_ratio
-
-
-def _rollup_partitions(partitions: list[PartitionInfo]) -> PartitionInfo:
-    """One table-level PartitionInfo summing the landed partitions."""
-    if len(partitions) == 1:
-        return partitions[0]
-    total = PartitionInfo(name="+".join(p.name for p in partitions))
-    for p in partitions:
-        total.files.extend(p.files)
-        total.num_rows += p.num_rows
-        total.raw_bytes += p.raw_bytes
-        total.compressed_bytes += p.compressed_bytes
-    return total
-
-
-def _partition_slices(
-    total_rows: int, num_partitions: int
-) -> list[tuple[int, int]]:
-    """Contiguous, near-equal ``[start, stop)`` row slices per partition."""
-    base, extra = divmod(total_rows, num_partitions)
-    slices: list[tuple[int, int]] = []
-    start = 0
-    for i in range(num_partitions):
-        size = base + (1 if i < extra else 0)
-        slices.append((start, start + size))
-        start += size
-    return slices
-
-
-def plan_retention_windows(
-    num_partitions: int, retain_partitions: int, train_epochs: int
-) -> list[list[int]]:
-    """Which partition indices each epoch scans under retention.
-
-    Epoch 0 opens on the first ``min(retain_partitions,
-    num_partitions)`` partitions; between epochs the window slides one
-    partition forward — the next partition lands, the oldest ages out —
-    until the stream of ``num_partitions`` time partitions is exhausted,
-    after which the window stays put.
-
-    Args:
-        num_partitions: total time partitions in the stream.
-        retain_partitions: maximum live partitions at any moment.
-        train_epochs: epochs to plan.
-
-    Returns:
-        One list of partition indices per epoch, each of length at most
-        ``retain_partitions``.
-
-    Raises:
-        ValueError: if any argument is not positive.
-    """
-    if num_partitions <= 0:
-        raise ValueError("num_partitions must be positive")
-    if retain_partitions <= 0:
-        raise ValueError("retain_partitions must be positive")
-    if train_epochs <= 0:
-        raise ValueError("train_epochs must be positive")
-    window = min(retain_partitions, num_partitions)
-    lo, hi = 0, window - 1
-    windows: list[list[int]] = []
-    for _ in range(train_epochs):
-        windows.append(list(range(lo, hi + 1)))
-        if hi < num_partitions - 1:
-            hi += 1
-            if hi - lo + 1 > window:
-                lo += 1
-    return windows
-
-
-def _prepare_table(
-    config: PipelineConfig,
-) -> tuple[HiveTable, ScribeStats, int, list[Sample]]:
-    """Stages 1–3: generate, transport, join — nothing landed yet."""
-    w = config.workload
-    samples = TraceGenerator(
-        w.schema,
-        TraceConfig(
-            seed=config.seed,
-            mean_samples_per_session=config.mean_samples_per_session,
-        ),
-    ).generate_partition(config.num_sessions)
-
-    policy = (
-        ShardKeyPolicy.SESSION_ID
-        if config.toggles.o1_shard_by_session
-        else ShardKeyPolicy.RANDOM
-    )
-    scribe = ScribeCluster(
-        num_shards=config.num_scribe_shards, policy=policy
-    )
-    for s in samples:
-        feat, ev = split_sample(s)
-        scribe.log_features(feat)
-        scribe.log_event(ev)
-    scribe.flush()
-
-    etl = ETLJob(ETLConfig(cluster=config.toggles.o2_cluster_table))
-    etl_result = etl.run_from_scribe(scribe)
-
-    fs = TectonicFS()
-    # Stripes are small relative to the partition so that a stripe's time
-    # window matches the paper's regime: in the interleaved baseline a
-    # stripe holds ~1 sample/session (Fig 3), and only clustering (O2)
-    # makes a session's duplicates stripe-local.
-    table = HiveTable(
-        f"{w.name.lower()}_table",
-        w.schema,
-        fs,
-        rows_per_file=8192,
-        stripe_rows=64,
-    )
-    return table, scribe.stats, scribe.etl_ingest_bytes, etl_result.samples
-
-
-def land_table(
-    config: PipelineConfig,
-) -> tuple[HiveTable, ScribeStats, int, list[PartitionInfo], list[Sample]]:
-    """Stages 1–4: generate, transport, join, land.
-
-    The joined rows land as ``config.num_partitions`` time partitions
-    ``p0..p{N-1}`` — contiguous row ranges of the ETL output, mirroring
-    the paper's day-partitioned tables — so concatenating the partitions
-    in order always reproduces the single-partition row order.
-
-    Args:
-        config: the run's parameters (workload, toggles, partitioning).
-
-    Returns:
-        ``(table, scribe_stats, etl_ingest_bytes, partitions, samples)``
-        — the landed table, transport stats, and the joined row list.
-    """
-    table, scribe_stats, ingest_bytes, landed = _prepare_table(config)
-    partitions = [
-        table.land_partition(f"p{i}", landed[start:stop])
-        for i, (start, stop) in enumerate(
-            _partition_slices(len(landed), config.num_partitions)
-        )
-    ]
-    return table, scribe_stats, ingest_bytes, partitions, landed
-
-
-def _validate_epoch_batches(
-    config: PipelineConfig, partitions: list[PartitionInfo]
-) -> None:
-    """Fail fast if the first epoch cannot fill a single batch.
-
-    Validates from the landed metadata *before* any reader worker is
-    spawned: an epoch with zero trainable batches must fail, not after
-    multiprocessing workers scanned an undersized partition.
-    """
-    batch_size = config.effective_batch_size
-    epoch_batches = sum(p.num_rows // batch_size for p in partitions)
-    if config.train_batches is not None:
-        epoch_batches = min(epoch_batches, config.train_batches)
-    if epoch_batches == 0:
-        rows = ", ".join(str(p.num_rows) for p in partitions)
-        raise ValueError(
-            "partition too small for even one batch: "
-            f"[{rows}] rows across {len(partitions)} partition(s) "
-            f"< batch {batch_size} (train_batches={config.train_batches})"
-        )
-
-
-def build_trainer(config: PipelineConfig) -> DistributedTrainer:
-    """The run's trainer: a seeded DLRM under the modeled cluster.
-
-    Split out of :func:`run_pipeline` so multi-job sharing
-    (:func:`~repro.pipeline.multi_job.run_multi_job`) builds each job's
-    trainer exactly the way a single-job run would — which is what makes
-    per-job losses under sharing bit-identical to solo runs.
-    """
-    w = config.workload
-    model = DLRM(
-        list(w.schema.sparse),
-        DLRMConfig.from_workload(
-            w, max_table_rows=config.max_table_rows, seed=config.seed
-        ),
-        config.toggles.trainer_flags,
-    )
-    cluster = sim_cluster(
-        num_gpus=config.num_gpus, gpus_per_node=config.gpus_per_node
-    )
-    return DistributedTrainer(model, cluster)
-
-
 def run_pipeline(
     config: PipelineConfig,
     track_updates: bool = False,
     streaming: bool | None = None,
 ) -> PipelineResult:
-    """Run every stage and collect the measurements.
+    """Run every stage for one flat config and collect the measurements.
 
     ``config.train_epochs`` epochs run over the landed partitions, each
     epoch capped at ``config.train_batches`` batches.  With
@@ -307,13 +59,19 @@ def run_pipeline(
     ``config.autoscale`` set, the fleet width is re-decided between
     epochs from the epoch's modeled overlap.
 
+    This is the legacy adapter over
+    :class:`~repro.pipeline.session.Session` —
+    ``Session(JobSpec.from_legacy(config)).run()`` with the original
+    config preserved on the result.
+
     Args:
         config: the run's parameters.
         track_updates: forward per-step update tracking to the trainer
             (needed by the accuracy experiments).
-        streaming: overrides ``config.streaming`` when given (the A/B
-            knob) — ``True`` streams reader batches into the trainers,
-            ``False`` materializes each epoch first.
+        streaming: **deprecated** — overrides ``config.streaming`` when
+            given.  Set ``PipelineConfig.streaming`` (or
+            ``ReaderSpec.streaming``) instead; the keyword survives for
+            old A/B harnesses but warns.
 
     Returns:
         A :class:`PipelineResult` with every stage's measurements.
@@ -322,127 +80,19 @@ def run_pipeline(
         ValueError: if the first epoch's landed partitions cannot fill
             a single training batch.
     """
-    stream = config.streaming if streaming is None else streaming
-    retention = config.retain_partitions is not None
-
-    if retention:
-        table, scribe_stats, ingest_bytes, samples = _prepare_table(config)
-        slices = _partition_slices(len(samples), config.num_partitions)
-        windows = plan_retention_windows(
-            config.num_partitions,
-            config.retain_partitions,
-            config.train_epochs,
+    if streaming is not None:
+        warnings.warn(
+            "run_pipeline(streaming=...) is deprecated: the keyword "
+            "shadowed config.streaming; set streaming on the config "
+            "(or ReaderSpec.streaming on a JobSpec) instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        landed: dict[int, PartitionInfo] = {}
-        partitions = []  # every partition ever landed, in landing order
-    else:
-        table, scribe_stats, ingest_bytes, partitions, samples = land_table(
-            config
-        )
-        windows = [list(range(config.num_partitions))] * config.train_epochs
-        landed = dict(enumerate(partitions))
-        _validate_epoch_batches(config, partitions)
-
-    trainer = build_trainer(config)
-
-    width = config.num_readers
-    autoscaler = (
-        ReaderAutoscaler(
-            width,
-            target_stall=config.target_stall,
-            max_readers=config.max_readers,
-        )
-        if config.autoscale
-        else None
+    spec = JobSpec.from_legacy(
+        config, streaming=streaming, track_updates=track_updates
     )
-
-    reader_total: FleetReport | None = None
-    epoch_partitions: list[list[str]] = []
-    loop_started = time.perf_counter()
-    for epoch, window in enumerate(windows):
-        if retention:
-            # Land this window's new partitions, then age out anything
-            # older than the window — the between-epoch lifecycle.
-            for idx in window:
-                if idx not in landed:
-                    start, stop = slices[idx]
-                    landed[idx] = table.land_partition(
-                        f"p{idx}", samples[start:stop]
-                    )
-                    partitions.append(landed[idx])
-            for idx in [i for i in sorted(landed) if i < window[0]]:
-                table.drop_partition(f"p{idx}")
-                del landed[idx]
-            if epoch == 0:
-                _validate_epoch_batches(
-                    config, [landed[idx] for idx in window]
-                )
-
-        names = [f"p{idx}" for idx in window]
-        epoch_partitions.append(names)
-        fleet = ReaderFleet(
-            width,
-            config.dataloader_config(),
-            prefetch_depth=config.prefetch_depth,
-            executor=config.reader_executor,
-        )
-        source = fleet.iter_epoch(
-            table, names, max_batches=config.train_batches
-        )
-        steps_before = len(trainer.report.iterations)
-        if stream:
-            # overlap: trainer steps consume while reader workers decode
-            trainer.run(source, track_updates=track_updates)
-        else:
-            batches = list(source)
-            trainer.run(batches, track_updates=track_updates)
-        if reader_total is None:
-            reader_total = fleet.report
-        else:
-            reader_total.merge(fleet.report)
-
-        if autoscaler is not None:
-            # Feed the controller the epoch's *modeled* overlap — reader
-            # cost-model seconds spread across the width vs the trainer's
-            # modeled step time — so its decisions are deterministic.
-            epoch_steps = trainer.report.iterations[steps_before:]
-            modeled = OverlapReport.modeled(
-                reader_wall_seconds=fleet.report.balanced_wall_seconds(
-                    width
-                ),
-                trainer_busy_seconds=sum(
-                    it.iteration_seconds for it in epoch_steps
-                ),
-                batches=len(epoch_steps),
-                streaming=stream,
-            )
-            width = autoscaler.observe(modeled, epoch=epoch)
-    loop_wall = time.perf_counter() - loop_started
-
-    training = trainer.report
-    # Both modes attribute the same end-to-end loop wall so the A/B is
-    # comparable: in the materialized mode the serialized reader scan
-    # (the list() before training) shows up as other_fraction — exactly
-    # the time streaming overlaps away.
-    overlap = OverlapReport.from_run(
-        training,
-        queue=reader_total.queue,
-        wall_seconds=loop_wall,
-        streaming=stream,
-    )
-
-    return PipelineResult(
-        config=config,
-        scribe=scribe_stats,
-        scribe_ingest_bytes=ingest_bytes,
-        partition=_rollup_partitions(partitions),
-        reader=reader_total.merged,
-        training=training,
-        samples_landed=len(samples),
-        fleet=reader_total,
-        partitions=partitions,
-        overlap=overlap,
-        epoch_partitions=epoch_partitions,
-        dropped_partitions=list(table.dropped),
-        scaling=autoscaler.trace if autoscaler is not None else None,
-    )
+    result = Session(spec).run()
+    # Hand the caller back their exact config object (to_legacy() is an
+    # equal reconstruction, but identity is cheaper to reason about).
+    result.config = config
+    return result

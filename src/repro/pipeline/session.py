@@ -1,0 +1,643 @@
+"""The one execution engine behind every run surface: ``Session``.
+
+Before this module the repo had *two* end-to-end loops — ``run_pipeline``
+owned a single job's land→scan→train→age epoch loop, and
+``run_multi_job`` owned a diverged copy wired through the shared reader
+tier, which is why retention and per-job autoscaling had to be forbidden
+under sharing.  :class:`Session` collapses them: one engine prepares
+each registered :class:`~repro.pipeline.spec.JobSpec` (generate →
+Scribe → ETL → land), hands every job to one
+:class:`~repro.reader.tier_scheduler.SharedReaderTier`, and runs
+scheduling rounds until every job's epoch plan is exhausted.  A
+single-job session is simply a one-job tier — the allocator leases the
+whole pool to the sole job every round, so each round *is* one epoch on
+a full-width fleet, bit-identical to the old dedicated loop.
+
+Because one loop serves every shape, features compose instead of
+forking:
+
+* **Retention for any job count** — a job with a
+  :class:`~repro.pipeline.spec.RetentionSpec` lands its next window and
+  ages out old partitions immediately before each of its scheduled
+  epochs (the tier calls the job's ``prepare`` hook), so the rolling
+  land→train→age lifecycle works identically solo or under sharing.
+* **Scaling for any job count** — a
+  :class:`~repro.pipeline.spec.ScalingSpec` autoscales the pool between
+  rounds; with one job that *is* the classic per-fleet autoscaler
+  (same modeled signal, same trace, bit-identical decisions).
+* **Weights** — :attr:`JobSpec.weight` scales a job's observed reader
+  demand in the stall-weighted allocator, so priority jobs pull more of
+  the surplus pool without ever changing batch content.
+
+The legacy entry points — :func:`~repro.pipeline.runner.run_pipeline`
+and :func:`~repro.pipeline.multi_job.run_multi_job` — are thin adapters
+over this engine and stay bit-identical to their historical outputs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from ..datagen.generator import TraceConfig, TraceGenerator
+from ..datagen.session import Sample
+from ..distributed.costmodel import sim_cluster
+from ..distributed.trainer import DistributedTrainer, TrainingReport
+from ..etl.pipeline import ETLConfig, ETLJob
+from ..metrics.overlap import OverlapReport
+from ..metrics.scaling import ScalingTrace
+from ..metrics.tier import TierReport
+from ..reader.fleet import FleetReport
+from ..reader.node import ReaderReport
+from ..reader.tier_scheduler import SharedReaderTier, TierJob
+from ..scribe.bus import ScribeCluster, ScribeStats
+from ..scribe.message import split_sample
+from ..scribe.sharding import ShardKeyPolicy
+from ..storage.hive import HiveTable, PartitionInfo
+from ..storage.tectonic import TectonicFS
+from ..trainer.model import DLRM, DLRMConfig
+from .config import PipelineConfig
+from .spec import JobSpec, ScalingSpec
+
+__all__ = [
+    "PipelineResult",
+    "JobResult",
+    "MultiJobResult",
+    "Session",
+    "build_trainer",
+    "land_table",
+    "plan_retention_windows",
+]
+
+
+@dataclass
+class PipelineResult:
+    """Every stage's measurements for one configuration."""
+
+    config: PipelineConfig
+    scribe: ScribeStats
+    scribe_ingest_bytes: int
+    #: the landed table rolled up across partitions (storage totals)
+    partition: PartitionInfo
+    reader: ReaderReport
+    training: TrainingReport
+    samples_landed: int
+    #: per-worker + queue-wait detail behind the merged ``reader`` report
+    fleet: FleetReport | None = None
+    #: per-partition landing detail behind the rolled-up ``partition``
+    #: (under retention: every partition that landed, dropped or not)
+    partitions: list[PartitionInfo] = field(default_factory=list)
+    #: wall-clock attribution of the train loop: reader-stall vs
+    #: trainer-stall (populated for streaming and materialized runs)
+    overlap: OverlapReport | None = None
+    #: which partitions each epoch actually scanned, in epoch order
+    epoch_partitions: list[list[str]] = field(default_factory=list)
+    #: partitions aged out by rolling-window retention, in drop order
+    dropped_partitions: list[str] = field(default_factory=list)
+    #: the autoscaler's decision history (scaled runs only)
+    scaling: ScalingTrace | None = None
+    #: the composed spec the engine executed (``None`` only for results
+    #: built by code predating the spec surface)
+    spec: JobSpec | None = None
+
+    # -- the Fig 7 headline metrics ------------------------------------------
+
+    @property
+    def trainer_qps(self) -> float:
+        """Mean trainer throughput in samples/second (Fig 7)."""
+        return self.training.mean_samples_per_second
+
+    @property
+    def reader_qps(self) -> float:
+        """Reader throughput in samples per CPU-second (Fig 7)."""
+        return self.reader.samples_per_cpu_second
+
+    @property
+    def storage_compression(self) -> float:
+        """Landed table compression ratio (raw / compressed bytes)."""
+        return self.partition.compression_ratio
+
+    @property
+    def scribe_compression(self) -> float:
+        """Scribe transport compression ratio."""
+        return self.scribe.compression_ratio
+
+
+@dataclass
+class JobResult:
+    """One job's measurements from a shared-tier run."""
+
+    name: str
+    config: PipelineConfig
+    #: the job's trainer report — per-step losses bit-identical to the
+    #: same config run alone through ``run_pipeline``
+    training: TrainingReport
+    #: the job's reader measurements merged across every round it ran
+    fleet: FleetReport
+    #: the job's modeled overlap attribution, merged across rounds
+    overlap: OverlapReport
+    #: which partitions each of the job's epochs scanned
+    epoch_partitions: list[list[str]]
+    samples_landed: int
+    #: partitions aged out by the job's rolling window, in drop order
+    dropped_partitions: list[str] = field(default_factory=list)
+    #: the composed spec the engine executed for this job
+    spec: JobSpec | None = None
+
+
+@dataclass
+class MultiJobResult:
+    """Every job's measurements plus the tier-level schedule."""
+
+    jobs: list[JobResult]
+    tier: TierReport
+
+    def job(self, name: str) -> JobResult:
+        """Look one job's result up by name."""
+        for job in self.jobs:
+            if job.name == name:
+                return job
+        raise KeyError(
+            f"no job named {name!r}; jobs: {[j.name for j in self.jobs]}"
+        )
+
+    @property
+    def modeled_wall_seconds(self) -> float:
+        """The shared tier's modeled end-to-end wall-clock."""
+        return self.tier.modeled_wall_seconds
+
+
+# -- table preparation -------------------------------------------------------
+
+
+def _rollup_partitions(partitions: list[PartitionInfo]) -> PartitionInfo:
+    """One table-level PartitionInfo summing the landed partitions."""
+    if len(partitions) == 1:
+        return partitions[0]
+    total = PartitionInfo(name="+".join(p.name for p in partitions))
+    for p in partitions:
+        total.files.extend(p.files)
+        total.num_rows += p.num_rows
+        total.raw_bytes += p.raw_bytes
+        total.compressed_bytes += p.compressed_bytes
+    return total
+
+
+def _partition_slices(
+    total_rows: int, num_partitions: int
+) -> list[tuple[int, int]]:
+    """Contiguous, near-equal ``[start, stop)`` row slices per partition."""
+    base, extra = divmod(total_rows, num_partitions)
+    slices: list[tuple[int, int]] = []
+    start = 0
+    for i in range(num_partitions):
+        size = base + (1 if i < extra else 0)
+        slices.append((start, start + size))
+        start += size
+    return slices
+
+
+def plan_retention_windows(
+    num_partitions: int, retain_partitions: int, train_epochs: int
+) -> list[list[int]]:
+    """Which partition indices each epoch scans under retention.
+
+    Epoch 0 opens on the first ``min(retain_partitions,
+    num_partitions)`` partitions; between epochs the window slides one
+    partition forward — the next partition lands, the oldest ages out —
+    until the stream of ``num_partitions`` time partitions is exhausted,
+    after which the window stays put.
+
+    Args:
+        num_partitions: total time partitions in the stream.
+        retain_partitions: maximum live partitions at any moment.
+        train_epochs: epochs to plan.
+
+    Returns:
+        One list of partition indices per epoch, each of length at most
+        ``retain_partitions``.
+
+    Raises:
+        ValueError: if any argument is not positive.
+    """
+    if num_partitions <= 0:
+        raise ValueError("num_partitions must be positive")
+    if retain_partitions <= 0:
+        raise ValueError("retain_partitions must be positive")
+    if train_epochs <= 0:
+        raise ValueError("train_epochs must be positive")
+    window = min(retain_partitions, num_partitions)
+    lo, hi = 0, window - 1
+    windows: list[list[int]] = []
+    for _ in range(train_epochs):
+        windows.append(list(range(lo, hi + 1)))
+        if hi < num_partitions - 1:
+            hi += 1
+            if hi - lo + 1 > window:
+                lo += 1
+    return windows
+
+
+def _prepare_table(
+    job: JobSpec,
+) -> tuple[HiveTable, ScribeStats, int, list[Sample]]:
+    """Stages 1–3: generate, transport, join — nothing landed yet."""
+    d = job.data
+    w = d.workload
+    samples = TraceGenerator(
+        w.schema,
+        TraceConfig(
+            seed=d.seed,
+            mean_samples_per_session=d.mean_samples_per_session,
+        ),
+    ).generate_partition(d.num_sessions)
+
+    policy = (
+        ShardKeyPolicy.SESSION_ID
+        if d.toggles.o1_shard_by_session
+        else ShardKeyPolicy.RANDOM
+    )
+    scribe = ScribeCluster(num_shards=d.num_scribe_shards, policy=policy)
+    for s in samples:
+        feat, ev = split_sample(s)
+        scribe.log_features(feat)
+        scribe.log_event(ev)
+    scribe.flush()
+
+    etl = ETLJob(ETLConfig(cluster=d.toggles.o2_cluster_table))
+    etl_result = etl.run_from_scribe(scribe)
+
+    fs = TectonicFS()
+    # Stripes are small relative to the partition so that a stripe's time
+    # window matches the paper's regime: in the interleaved baseline a
+    # stripe holds ~1 sample/session (Fig 3), and only clustering (O2)
+    # makes a session's duplicates stripe-local.
+    table = HiveTable(
+        f"{w.name.lower()}_table",
+        w.schema,
+        fs,
+        rows_per_file=8192,
+        stripe_rows=64,
+    )
+    return table, scribe.stats, scribe.etl_ingest_bytes, etl_result.samples
+
+
+def land_table(
+    job: JobSpec | PipelineConfig,
+) -> tuple[HiveTable, ScribeStats, int, list[PartitionInfo], list[Sample]]:
+    """Stages 1–4: generate, transport, join, land.
+
+    The joined rows land as ``num_partitions`` time partitions
+    ``p0..p{N-1}`` — contiguous row ranges of the ETL output, mirroring
+    the paper's day-partitioned tables — so concatenating the partitions
+    in order always reproduces the single-partition row order.
+
+    Args:
+        job: the run's parameters — a :class:`JobSpec`, or a legacy
+            flat :class:`PipelineConfig` (converted via
+            :meth:`JobSpec.coerce`).
+
+    Returns:
+        ``(table, scribe_stats, etl_ingest_bytes, partitions, samples)``
+        — the landed table, transport stats, and the joined row list.
+    """
+    job = JobSpec.coerce(job)
+    table, scribe_stats, ingest_bytes, landed = _prepare_table(job)
+    partitions = [
+        table.land_partition(f"p{i}", landed[start:stop])
+        for i, (start, stop) in enumerate(
+            _partition_slices(len(landed), job.data.num_partitions)
+        )
+    ]
+    return table, scribe_stats, ingest_bytes, partitions, landed
+
+
+def _validate_epoch_batches(job: JobSpec, rows: Sequence[int]) -> None:
+    """Fail fast if an epoch window cannot fill a single batch.
+
+    Validates from landed (or planned) row counts *before* any reader
+    worker is spawned: an epoch with zero trainable batches must fail,
+    not after multiprocessing workers scanned an undersized partition.
+    """
+    batch_size = job.effective_batch_size
+    epoch_batches = sum(r // batch_size for r in rows)
+    if job.train.train_batches is not None:
+        epoch_batches = min(epoch_batches, job.train.train_batches)
+    if epoch_batches == 0:
+        raise ValueError(
+            "partition too small for even one batch: "
+            f"[{', '.join(str(r) for r in rows)}] rows across "
+            f"{len(rows)} partition(s) < batch {batch_size} "
+            f"(train_batches={job.train.train_batches})"
+        )
+
+
+def build_trainer(job: JobSpec | PipelineConfig) -> DistributedTrainer:
+    """The job's trainer: a seeded DLRM under the modeled cluster.
+
+    A standalone builder so every execution shape — solo, shared tier,
+    or a custom harness — constructs the trainer identically, which is
+    what makes per-job losses under sharing bit-identical to solo runs.
+
+    Args:
+        job: a :class:`JobSpec` or legacy flat :class:`PipelineConfig`.
+
+    Returns:
+        The job's seeded :class:`~repro.distributed.trainer.DistributedTrainer`.
+    """
+    job = JobSpec.coerce(job)
+    w = job.data.workload
+    model = DLRM(
+        list(w.schema.sparse),
+        DLRMConfig.from_workload(
+            w, max_table_rows=job.train.max_table_rows, seed=job.data.seed
+        ),
+        job.data.toggles.trainer_flags,
+    )
+    cluster = sim_cluster(
+        num_gpus=job.train.num_gpus, gpus_per_node=job.train.gpus_per_node
+    )
+    return DistributedTrainer(model, cluster)
+
+
+# -- the engine --------------------------------------------------------------
+
+
+class _JobState:
+    """One registered job's runtime state inside a Session."""
+
+    def __init__(self, name: str, spec: JobSpec):
+        self.name = name
+        self.spec = spec
+        self.trainer = build_trainer(spec)
+        self.partitions: list[PartitionInfo] = []
+        if spec.retention is None:
+            (
+                self.table,
+                self.scribe_stats,
+                self.ingest_bytes,
+                self.partitions,
+                self.samples,
+            ) = land_table(spec)
+            _validate_epoch_batches(
+                spec, [p.num_rows for p in self.partitions]
+            )
+            window = [p.name for p in self.partitions]
+            self.epochs = [
+                list(window) for _ in range(spec.train.train_epochs)
+            ]
+            prepare = None
+            partition_rows = None
+        else:
+            (
+                self.table,
+                self.scribe_stats,
+                self.ingest_bytes,
+                self.samples,
+            ) = _prepare_table(spec)
+            slices = _partition_slices(
+                len(self.samples), spec.data.num_partitions
+            )
+            windows = plan_retention_windows(
+                spec.data.num_partitions,
+                spec.retention.window,
+                spec.train.train_epochs,
+            )
+            self.epochs = [[f"p{i}" for i in w] for w in windows]
+            partition_rows = {
+                f"p{i}": stop - start
+                for i, (start, stop) in enumerate(slices)
+            }
+            # Fail fast on the first window, from planned row counts —
+            # before the trainer ever sees an empty epoch.
+            _validate_epoch_batches(
+                spec, [partition_rows[p] for p in self.epochs[0]]
+            )
+            landed: dict[int, PartitionInfo] = {}
+
+            def prepare(epoch: int) -> None:
+                """Land this epoch's window, then age out anything older
+                — the between-epoch retention lifecycle."""
+                window = windows[epoch]
+                for idx in window:
+                    if idx not in landed:
+                        start, stop = slices[idx]
+                        landed[idx] = self.table.land_partition(
+                            f"p{idx}", self.samples[start:stop]
+                        )
+                        self.partitions.append(landed[idx])
+                for idx in [i for i in sorted(landed) if i < window[0]]:
+                    self.table.drop_partition(f"p{idx}")
+                    del landed[idx]
+
+        trainer = self.trainer
+        track = spec.train.track_updates
+        materialize = not spec.reader.streaming
+
+        def consume(epoch: int, source) -> float:
+            """Feed one scheduled epoch into this job's trainer; return
+            the epoch's modeled trainer-busy seconds."""
+            steps_before = len(trainer.report.iterations)
+            if materialize:
+                source = list(source)
+            trainer.run(source, track_updates=track)
+            return sum(
+                it.iteration_seconds
+                for it in trainer.report.iterations[steps_before:]
+            )
+
+        self.tier_job = TierJob(
+            name=name,
+            table=self.table,
+            config=spec.dataloader_config(),
+            epochs=self.epochs,
+            max_batches=spec.train.train_batches,
+            consume=consume,
+            prefetch_depth=spec.reader.prefetch_depth,
+            executor=spec.reader.executor,
+            streaming=spec.reader.streaming,
+            weight=spec.weight,
+            prepare=prepare,
+            partition_rows=partition_rows,
+        )
+
+    def job_result(
+        self, fleet: FleetReport, report: TierReport
+    ) -> JobResult:
+        """This job's share of a multi-job session's result."""
+        return JobResult(
+            name=self.name,
+            config=self.spec.to_legacy(),
+            training=self.trainer.report,
+            fleet=fleet,
+            overlap=report.job_overlap(self.name),
+            epoch_partitions=[list(e) for e in self.epochs],
+            samples_landed=len(self.samples),
+            dropped_partitions=list(self.table.dropped),
+            spec=self.spec,
+        )
+
+    def pipeline_result(
+        self, fleet: FleetReport, report: TierReport, wall_seconds: float
+    ) -> PipelineResult:
+        """A single-job session's result, in run_pipeline's shape."""
+        training = self.trainer.report
+        # Both streaming modes attribute the same end-to-end loop wall
+        # so the A/B is comparable: in the materialized mode the
+        # serialized reader scan (the list() before training) shows up
+        # as other_fraction — exactly the time streaming overlaps away.
+        overlap = OverlapReport.from_run(
+            training,
+            queue=fleet.queue,
+            wall_seconds=wall_seconds,
+            streaming=self.spec.reader.streaming,
+        )
+        return PipelineResult(
+            config=self.spec.to_legacy(),
+            scribe=self.scribe_stats,
+            scribe_ingest_bytes=self.ingest_bytes,
+            partition=_rollup_partitions(self.partitions),
+            reader=fleet.merged,
+            training=training,
+            samples_landed=len(self.samples),
+            fleet=fleet,
+            partitions=self.partitions,
+            overlap=overlap,
+            epoch_partitions=[list(e) for e in self.epochs],
+            dropped_partitions=list(self.table.dropped),
+            scaling=report.scaling,
+            spec=self.spec,
+        )
+
+
+class Session:
+    """The execution engine: one or many :class:`JobSpec`\\ s, one loop.
+
+    Construct with a single spec (the ``run_pipeline`` shape — the
+    whole pool serves the one job every round and :meth:`run` returns a
+    :class:`PipelineResult`) or a sequence of specs (the
+    ``run_multi_job`` shape — the pool is multiplexed across jobs and
+    :meth:`run` returns a :class:`MultiJobResult`).  Legacy flat
+    :class:`PipelineConfig` objects are accepted anywhere a spec is.
+
+    Pool-level scaling resolves in precedence order: the explicit
+    ``scaling`` argument, else the registered jobs' own
+    :class:`~repro.pipeline.spec.ScalingSpec`\\ s (tightest
+    ``target_stall``, widest ``max_readers``), else fixed width.
+    """
+
+    def __init__(
+        self,
+        jobs: JobSpec | PipelineConfig | Sequence[JobSpec | PipelineConfig],
+        *,
+        width: int | None = None,
+        policy: str = "stall_weighted",
+        scaling: ScalingSpec | None = None,
+        names: Sequence[str] | None = None,
+    ):
+        """Configure the session.
+
+        Args:
+            jobs: one spec, or a sequence of specs to share the pool.
+            width: pool width (total reader workers).  Defaults to the
+                sole job's ``ReaderSpec.num_readers``; required when
+                sharing.
+            policy: worker-allocation policy (``"stall_weighted"`` or
+                ``"round_robin"``).
+            scaling: pool-level autoscaling override; ``None`` defers
+                to the jobs' own specs.
+            names: report names overriding each spec's ``name``.
+
+        Raises:
+            ValueError: on an empty job list, missing multi-job width,
+                or duplicate/mismatched names.
+        """
+        self._single = isinstance(jobs, (JobSpec, PipelineConfig))
+        raw = [jobs] if self._single else list(jobs)
+        if not raw:
+            raise ValueError("Session needs at least one job spec")
+        self.specs = [JobSpec.coerce(j) for j in raw]
+        if names is not None:
+            names = list(names)
+            if len(names) != len(self.specs):
+                raise ValueError(
+                    f"{len(names)} names for {len(self.specs)} jobs"
+                )
+            self.names = names
+        else:
+            self.names = [
+                spec.name if spec.name is not None else f"job{i}"
+                for i, spec in enumerate(self.specs)
+            ]
+        if len(set(self.names)) != len(self.names):
+            raise ValueError(f"duplicate job names: {self.names}")
+        if width is None:
+            if not self._single:
+                raise ValueError(
+                    "Session needs an explicit pool width when sharing "
+                    "across multiple jobs (width=...)"
+                )
+            width = self.specs[0].reader.num_readers
+        self.width = width
+        self.policy = policy
+        if scaling is None:
+            per_job = [s.scaling for s in self.specs if s.scaling is not None]
+            if per_job:
+                # A job's own bound caps its *solo* fleet; promoted to
+                # the pool it must never undercut the pool's width, or
+                # a wide pool would trip the autoscaler's sanity check
+                # on behalf of a job that never mentioned the pool.
+                floor = [] if self._single else [self.width]
+                scaling = ScalingSpec(
+                    target_stall=min(s.target_stall for s in per_job),
+                    max_readers=max(
+                        [s.max_readers for s in per_job] + floor
+                    ),
+                )
+        self.scaling = scaling
+
+    def run(self) -> PipelineResult | MultiJobResult:
+        """Prepare every job, then run scheduling rounds to completion.
+
+        Returns:
+            A :class:`PipelineResult` when the session was built from a
+            single spec, else a :class:`MultiJobResult`.
+
+        Raises:
+            ValueError: from spec validation, an epoch window that
+                cannot fill one batch, or tier admission.
+        """
+        scaling = self.scaling
+        tier = SharedReaderTier(
+            self.width,
+            policy=self.policy,
+            autoscale=scaling is not None,
+            target_stall=(
+                scaling.target_stall if scaling is not None else 0.10
+            ),
+            max_readers=(
+                scaling.max_readers if scaling is not None else 32
+            ),
+        )
+        states = [
+            _JobState(name, spec)
+            for name, spec in zip(self.names, self.specs)
+        ]
+        for state in states:
+            tier.register(state.tier_job)
+        loop_started = time.perf_counter()
+        report = tier.run()
+        loop_wall = time.perf_counter() - loop_started
+        if self._single:
+            state = states[0]
+            return state.pipeline_result(
+                tier.job_fleets[state.name], report, loop_wall
+            )
+        return MultiJobResult(
+            jobs=[
+                state.job_result(tier.job_fleets[state.name], report)
+                for state in states
+            ],
+            tier=report,
+        )

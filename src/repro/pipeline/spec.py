@@ -1,0 +1,441 @@
+"""Composable run specifications: the ``JobSpec`` surface.
+
+The flat :class:`~repro.pipeline.config.PipelineConfig` grew one field
+at a time until data generation, cluster shape, reader sizing,
+retention, and autoscaling all shared one ~20-field namespace — and the
+multi-job entry point had to *forbid* whole features because its wiring
+diverged from the single-job loop.  This module splits that surface
+into small spec dataclasses, each owning one concern:
+
+* :class:`DataSpec` — what lands: workload, toggles, sessions, Scribe
+  shards, time partitions, seed.
+* :class:`ReaderSpec` — how the reader fleet scans it: width, prefetch,
+  executor, streaming hand-off.
+* :class:`TrainSpec` — what the trainers do: epochs, per-epoch batch
+  cap, batch size, cluster shape, update tracking.
+* :class:`ScalingSpec` — whether and how the fleet/pool width adapts:
+  target stall band and width bound.
+* :class:`RetentionSpec` — the rolling partition window.
+
+A :class:`JobSpec` composes them (plus a scheduling ``weight`` and an
+optional ``name``) into everything one training job needs, and
+:class:`~repro.pipeline.session.Session` executes one or many of them.
+``JobSpec.from_legacy`` converts a flat ``PipelineConfig`` (the adapter
+path under :func:`~repro.pipeline.runner.run_pipeline` and
+:func:`~repro.pipeline.multi_job.run_multi_job`), and ``to_legacy``
+round-trips back.
+
+Every ``__post_init__`` error names the spec and field it came from
+(``ScalingSpec.target_stall must be in (0, 1) ...``), so a failed
+construction is diagnosable without a traceback spelunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+
+from ..datagen.workloads import RMWorkload
+from ..reader.config import DataLoaderConfig
+from .config import PipelineConfig, RecDToggles
+
+__all__ = [
+    "DataSpec",
+    "ReaderSpec",
+    "TrainSpec",
+    "ScalingSpec",
+    "RetentionSpec",
+    "JobSpec",
+]
+
+#: fleet executors a ReaderSpec may name
+EXECUTORS = ("auto", "process", "inprocess")
+
+
+def _require_positive(where: str, value) -> None:
+    """Raise unless ``value`` is a positive number, naming the field."""
+    if value <= 0:
+        raise ValueError(f"{where} must be positive, got {value}")
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """What one job's table is made of: workload, volume, landing shape.
+
+    Attributes:
+        workload: the RM workload (schema, duplication statistics,
+            per-path batch-size defaults).
+        toggles: which RecD optimizations (O1-O7) are active.
+        num_sessions: sessions in the generated trace.
+        mean_samples_per_session: S of the generated table (§6.1).
+        num_scribe_shards: Scribe transport shards.
+        num_partitions: time partitions the table lands as (the
+            paper's day-partitioned tables).
+        seed: the run's seed (trace generation and model init).
+        transforms: reader-side preprocessing transform names.
+    """
+
+    workload: RMWorkload
+    toggles: RecDToggles = field(default_factory=RecDToggles.baseline)
+    num_sessions: int = 250
+    mean_samples_per_session: float = 16.5
+    num_scribe_shards: int = 8
+    num_partitions: int = 1
+    seed: int = 0
+    transforms: tuple[str, ...] = ("hash_modulo",)
+
+    def __post_init__(self) -> None:
+        _require_positive("DataSpec.num_sessions", self.num_sessions)
+        _require_positive(
+            "DataSpec.mean_samples_per_session",
+            self.mean_samples_per_session,
+        )
+        _require_positive("DataSpec.num_scribe_shards", self.num_scribe_shards)
+        _require_positive("DataSpec.num_partitions", self.num_partitions)
+
+
+@dataclass(frozen=True)
+class ReaderSpec:
+    """How the reader fleet scans a job's table.
+
+    Attributes:
+        num_readers: fleet width (1 = the serial single-node path);
+            under a shared tier this is the job's *solo* width — the
+            pool width is the Session's.
+        prefetch_depth: bounded prefetch per reader worker (2 = double
+            buffering).
+        executor: ``"process"`` (real multiprocessing workers),
+            ``"inprocess"`` (deterministic serial fallback), or
+            ``"auto"``; the batch stream is bit-identical for all
+            three.
+        streaming: stream batches straight into the trainer
+            (overlapping decode with steps) instead of materializing
+            each epoch first; both paths train bit-identically.
+    """
+
+    num_readers: int = 1
+    prefetch_depth: int = 2
+    executor: str = "auto"
+    streaming: bool = True
+
+    def __post_init__(self) -> None:
+        _require_positive("ReaderSpec.num_readers", self.num_readers)
+        _require_positive("ReaderSpec.prefetch_depth", self.prefetch_depth)
+        if self.executor not in EXECUTORS:
+            raise ValueError(
+                f"ReaderSpec.executor must be one of {EXECUTORS}, "
+                f"got {self.executor!r}"
+            )
+
+
+@dataclass(frozen=True)
+class TrainSpec:
+    """What the job's trainers run: epochs, batches, cluster shape.
+
+    Attributes:
+        train_epochs: epochs over the landed partitions.
+        train_batches: per-epoch batch cap (``None`` = the whole
+            window).
+        batch_size: overrides the workload's per-path batch size when
+            set.
+        num_gpus: modeled cluster size.
+        gpus_per_node: modeled cluster shape.
+        max_table_rows: embedding-table hash modulus cap.
+        track_updates: forward per-step update tracking to the trainer
+            (needed by the accuracy experiments).
+    """
+
+    train_epochs: int = 1
+    train_batches: int | None = 2
+    batch_size: int | None = None
+    num_gpus: int = 48
+    gpus_per_node: int = 8
+    max_table_rows: int = 2000
+    track_updates: bool = False
+
+    def __post_init__(self) -> None:
+        _require_positive("TrainSpec.train_epochs", self.train_epochs)
+        if self.train_batches is not None:
+            _require_positive("TrainSpec.train_batches", self.train_batches)
+        if self.batch_size is not None:
+            _require_positive("TrainSpec.batch_size", self.batch_size)
+        _require_positive("TrainSpec.num_gpus", self.num_gpus)
+        _require_positive("TrainSpec.gpus_per_node", self.gpus_per_node)
+        _require_positive("TrainSpec.max_table_rows", self.max_table_rows)
+
+
+@dataclass(frozen=True)
+class ScalingSpec:
+    """Adaptive width: the autoscaler's set-point and bound.
+
+    Attaching a ``ScalingSpec`` to a :class:`JobSpec` turns
+    autoscaling *on* (``scaling=None`` runs at fixed width): a
+    :class:`~repro.reader.autoscale.ReaderAutoscaler` resizes the
+    fleet — or, under a shared tier, the pool — between epochs.
+
+    Attributes:
+        target_stall: grow the width while the observed reader-stall
+            fraction exceeds this band.
+        max_readers: upper bound on the width.
+    """
+
+    target_stall: float = 0.10
+    max_readers: int = 32
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_stall < 1.0:
+            raise ValueError(
+                "ScalingSpec.target_stall must be in (0, 1), got "
+                f"{self.target_stall}"
+            )
+        _require_positive("ScalingSpec.max_readers", self.max_readers)
+
+
+@dataclass(frozen=True)
+class RetentionSpec:
+    """Rolling-window partition retention: the land→train→age lifecycle.
+
+    Attaching a ``RetentionSpec`` to a :class:`JobSpec` turns the
+    landed table into a rolling window (``retention=None`` keeps every
+    partition live): at most ``window`` partitions are live at once;
+    between epochs the next time partition lands and the oldest is
+    dropped, and each epoch scans only the live window.
+
+    Attributes:
+        window: maximum live partitions at any moment.
+    """
+
+    window: int = 1
+
+    def __post_init__(self) -> None:
+        _require_positive("RetentionSpec.window", self.window)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One training job, as composed specs.
+
+    The unit :class:`~repro.pipeline.session.Session` executes — alone
+    (the ``run_pipeline`` shape) or registered with a shared reader
+    tier alongside other jobs (the ``run_multi_job`` shape).  Unlike
+    the flat legacy config, every combination composes: retention and
+    scaling work identically for one job or many.
+
+    Attributes:
+        data: what lands (workload, toggles, volume, partitions).
+        reader: how the fleet scans it.
+        train: what the trainers run.
+        scaling: adaptive width when set; fixed width when ``None``.
+        retention: rolling partition window when set; keep-everything
+            when ``None``.
+        weight: scheduling weight under a shared tier — the
+            stall-weighted allocator scales this job's observed reader
+            demand by it, so a weight-2 job pulls roughly twice the
+            surplus workers of an equal-demand weight-1 job.
+        name: report name under a shared tier (default ``job{i}``).
+    """
+
+    data: DataSpec
+    reader: ReaderSpec = ReaderSpec()
+    train: TrainSpec = TrainSpec()
+    scaling: ScalingSpec | None = None
+    retention: RetentionSpec | None = None
+    weight: float = 1.0
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.weight > 0.0 or self.weight != self.weight:
+            raise ValueError(
+                f"JobSpec.weight must be positive and finite, got "
+                f"{self.weight}"
+            )
+        if self.name is not None and not self.name:
+            raise ValueError("JobSpec.name must be non-empty when set")
+        if (
+            self.scaling is not None
+            and self.scaling.max_readers < self.reader.num_readers
+        ):
+            raise ValueError(
+                f"ScalingSpec.max_readers ({self.scaling.max_readers}) "
+                f"must be >= ReaderSpec.num_readers "
+                f"({self.reader.num_readers}): the autoscaler never "
+                "starts above its own bound"
+            )
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def effective_batch_size(self) -> int:
+        """The job's batch size: the override, else the workload's
+        per-path (baseline vs RecD) default."""
+        if self.train.batch_size is not None:
+            return self.train.batch_size
+        w = self.data.workload
+        return (
+            w.recd_batch_size
+            if self.data.toggles.o3_ikjt
+            else w.baseline_batch_size
+        )
+
+    def dataloader_config(self) -> DataLoaderConfig:
+        """The job's DataLoader spec under the current toggles."""
+        w = self.data.workload
+        if self.data.toggles.o3_ikjt:
+            plain = tuple(
+                f.name
+                for f in w.schema.sparse
+                if f.name not in w.dedup_feature_names
+            )
+            return DataLoaderConfig(
+                batch_size=self.effective_batch_size,
+                sparse_features=plain,
+                dedup_sparse_features=w.dedup_groups,
+                dense_features=tuple(w.schema.dense_names),
+                transforms=self.data.transforms,
+            )
+        return DataLoaderConfig(
+            batch_size=self.effective_batch_size,
+            sparse_features=tuple(w.schema.sparse_names),
+            dense_features=tuple(w.schema.dense_names),
+            transforms=self.data.transforms,
+        )
+
+    def with_(self, **kwargs) -> "JobSpec":
+        """A copy with the given top-level fields replaced."""
+        return replace(self, **kwargs)
+
+    # -- legacy bridge -------------------------------------------------------
+
+    @classmethod
+    def from_legacy(
+        cls,
+        config: PipelineConfig,
+        *,
+        streaming: bool | None = None,
+        track_updates: bool = False,
+        name: str | None = None,
+        weight: float = 1.0,
+    ) -> "JobSpec":
+        """Convert a flat :class:`PipelineConfig` into a ``JobSpec``.
+
+        Args:
+            config: the legacy flat configuration.
+            streaming: overrides ``config.streaming`` when given (the
+                deprecated ``run_pipeline(streaming=...)`` keyword
+                routes through here, so the override lives in exactly
+                one place).
+            track_updates: forward per-step update tracking.
+            name: report name under a shared tier.
+            weight: scheduling weight under a shared tier.
+
+        Returns:
+            The equivalent composed spec; executing it is bit-identical
+            to running the flat config through the legacy entry points.
+        """
+        return cls(
+            data=DataSpec(
+                workload=config.workload,
+                toggles=config.toggles,
+                num_sessions=config.num_sessions,
+                mean_samples_per_session=config.mean_samples_per_session,
+                num_scribe_shards=config.num_scribe_shards,
+                num_partitions=config.num_partitions,
+                seed=config.seed,
+                transforms=config.transforms,
+            ),
+            reader=ReaderSpec(
+                num_readers=config.num_readers,
+                prefetch_depth=config.prefetch_depth,
+                executor=config.reader_executor,
+                streaming=(
+                    config.streaming if streaming is None else streaming
+                ),
+            ),
+            train=TrainSpec(
+                train_epochs=config.train_epochs,
+                train_batches=config.train_batches,
+                batch_size=config.batch_size,
+                num_gpus=config.num_gpus,
+                gpus_per_node=config.gpus_per_node,
+                max_table_rows=config.max_table_rows,
+                track_updates=track_updates,
+            ),
+            scaling=(
+                ScalingSpec(
+                    target_stall=config.target_stall,
+                    max_readers=config.max_readers,
+                )
+                if config.autoscale
+                else None
+            ),
+            retention=(
+                RetentionSpec(window=config.retain_partitions)
+                if config.retain_partitions is not None
+                else None
+            ),
+            weight=weight,
+            name=name,
+        )
+
+    @classmethod
+    def coerce(cls, job: "JobSpec | PipelineConfig") -> "JobSpec":
+        """Pass a ``JobSpec`` through; convert a flat config."""
+        if isinstance(job, cls):
+            return job
+        if isinstance(job, PipelineConfig):
+            return cls.from_legacy(job)
+        raise TypeError(
+            f"expected a JobSpec or PipelineConfig, got {type(job).__name__}"
+        )
+
+    def to_legacy(self) -> PipelineConfig:
+        """The equivalent flat :class:`PipelineConfig`.
+
+        Exact inverse of :meth:`from_legacy` for every field the flat
+        config can express; ``scaling=None``/``retention=None`` map to
+        the flat defaults (``autoscale=False``,
+        ``retain_partitions=None``).  ``weight``, ``name``, and
+        ``track_updates`` have no flat-config home and are dropped.
+        """
+        scaling = self.scaling or ScalingSpec()
+        return PipelineConfig(
+            workload=self.data.workload,
+            toggles=self.data.toggles,
+            num_sessions=self.data.num_sessions,
+            mean_samples_per_session=self.data.mean_samples_per_session,
+            num_scribe_shards=self.data.num_scribe_shards,
+            num_gpus=self.train.num_gpus,
+            gpus_per_node=self.train.gpus_per_node,
+            batch_size=self.train.batch_size,
+            train_batches=self.train.train_batches,
+            max_table_rows=self.train.max_table_rows,
+            seed=self.data.seed,
+            transforms=self.data.transforms,
+            num_readers=self.reader.num_readers,
+            prefetch_depth=self.reader.prefetch_depth,
+            num_partitions=self.data.num_partitions,
+            train_epochs=self.train.train_epochs,
+            streaming=self.reader.streaming,
+            autoscale=self.scaling is not None,
+            target_stall=scaling.target_stall,
+            max_readers=scaling.max_readers,
+            retain_partitions=(
+                self.retention.window if self.retention is not None else None
+            ),
+            reader_executor=self.reader.executor,
+        )
+
+
+def spec_field_names() -> dict[str, list[str]]:
+    """Field names per spec dataclass — the public-surface manifest the
+    API snapshot test (``tests/docs/test_api_surface.py``) diffs."""
+    return {
+        cls.__name__: [f.name for f in fields(cls)]
+        for cls in (
+            DataSpec,
+            ReaderSpec,
+            TrainSpec,
+            ScalingSpec,
+            RetentionSpec,
+            JobSpec,
+        )
+    }

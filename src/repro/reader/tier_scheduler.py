@@ -38,9 +38,15 @@ Two allocation policies, both deterministic:
 * ``"stall_weighted"`` (default) — each candidate is guaranteed one
   worker, and the rest of the pool follows observed reader demand:
   workers proportional to each job's last-observed reader CPU seconds
-  (largest-remainder rounding), so jobs whose trainers starve pull
+  scaled by its scheduling ``weight`` (largest-remainder rounding), so
+  jobs whose trainers starve — or that the platform prioritizes — pull
   workers away from jobs whose readers idle.  Until every candidate has
   been observed once, the round falls back to the even split.
+
+Jobs whose tables land lazily (rolling-window retention) register a
+``prepare`` lifecycle hook — called immediately before each of their
+scheduled epochs — plus a declared ``partition_rows`` stream that
+admission validates their epoch plans against.
 
 Every round's allocation, per-job modeled overlap, and the tier-level
 aggregate land in a :class:`~repro.metrics.tier.TierReport`.
@@ -71,6 +77,7 @@ def allocate_workers(
     *,
     starved: Collection[str] = (),
     demand: Mapping[str, float] | None = None,
+    weights: Mapping[str, float] | None = None,
     policy: str = "stall_weighted",
     cursor: int = 0,
 ) -> dict[str, int]:
@@ -87,8 +94,14 @@ def allocate_workers(
         jobs: candidate job names, in registration order.
         starved: jobs that received zero workers last round.
         demand: last-observed reader CPU seconds per job (the
-            ``stall_weighted`` weights); jobs missing from it force the
+            ``stall_weighted`` signal); jobs missing from it force the
             even-split fallback for the round.
+        weights: per-job scheduling weights scaling the demand signal
+            (default 1.0 each): under ``stall_weighted`` the surplus is
+            apportioned by ``weight * demand``, so a weight-2 job pulls
+            roughly twice the workers of an equal-demand weight-1 job.
+            The fairness floor is untouched — every candidate still
+            gets one worker before any surplus is weighted.
         policy: ``"round_robin"`` or ``"stall_weighted"``.
         cursor: round counter; rotates who the remainder favours.
 
@@ -97,8 +110,8 @@ def allocate_workers(
         ``width`` (empty when ``jobs`` is empty).
 
     Raises:
-        ValueError: on a non-positive width, an unknown policy, or
-            duplicate job names.
+        ValueError: on a non-positive width, an unknown policy,
+            duplicate job names, or a non-positive job weight.
     """
     if width <= 0:
         raise ValueError(f"width must be positive, got {width}")
@@ -115,14 +128,23 @@ def allocate_workers(
     rotated = names[rot:] + names[:rot]
     position = {name: i for i, name in enumerate(rotated)}
     starved_set = set(starved)
-    weights = demand or {}
+    observed = demand or {}
+    job_weight = weights or {}
+    bad = {n: w for n, w in job_weight.items() if not w > 0.0}
+    if bad:
+        raise ValueError(f"job weights must be positive, got {bad}")
+    scaled = {
+        name: job_weight.get(name, 1.0) * observed[name]
+        for name in observed
+    }
 
     def priority(name: str) -> tuple:
-        """Sort key: starved first, hungrier first (stall_weighted),
-        then rotation order — a deterministic total order."""
+        """Sort key: starved first, hungrier (weight-scaled demand)
+        first under stall_weighted, then rotation order — a
+        deterministic total order."""
         return (
             0 if name in starved_set else 1,
-            -weights.get(name, 0.0) if policy == "stall_weighted" else 0.0,
+            -scaled.get(name, 0.0) if policy == "stall_weighted" else 0.0,
             position[name],
         )
 
@@ -139,11 +161,11 @@ def allocate_workers(
     rest = width - m
     if rest == 0:
         return out
-    total = sum(weights.get(name, 0.0) for name in names)
+    total = sum(scaled.get(name, 0.0) for name in names)
     if (
         policy == "round_robin"
         or total <= 0.0
-        or any(name not in weights for name in names)
+        or any(name not in scaled for name in names)
     ):
         # Even split (the stall_weighted cold start: some candidate has
         # never been observed, so there is no demand signal to follow).
@@ -154,8 +176,9 @@ def allocate_workers(
             out[name] += 1
         return out
 
-    # Largest-remainder apportionment of the surplus by observed demand.
-    shares = {name: rest * weights[name] / total for name in names}
+    # Largest-remainder apportionment of the surplus by weight-scaled
+    # observed demand.
+    shares = {name: rest * scaled[name] / total for name in names}
     floors = {name: int(shares[name]) for name in names}
     for name in names:
         out[name] += floors[name]
@@ -192,6 +215,18 @@ class TierJob:
         streaming: whether the job's consumer streams batches (False
             when it materializes first; carried into the job's overlap
             reports as bookkeeping).
+        weight: scheduling weight — the stall-weighted allocator scales
+            this job's observed reader demand by it, so heavier jobs
+            pull more of the surplus pool (content is unaffected).
+        prepare: optional lifecycle hook called as ``prepare(epoch)``
+            immediately before the tier scans that epoch — this is
+            where rolling-window retention lands the epoch's new
+            partitions and ages out old ones.
+        partition_rows: expected rows per partition for jobs whose
+            epoch plans reference partitions not yet landed (retention
+            jobs land lazily via ``prepare``); admission validates the
+            plan against this declared stream instead of the live
+            table.
     """
 
     name: str
@@ -203,6 +238,9 @@ class TierJob:
     prefetch_depth: int = 2
     executor: str = "auto"
     streaming: bool = True
+    weight: float = 1.0
+    prepare: Callable[[int], None] | None = None
+    partition_rows: Mapping[str, int] | None = None
 
 
 class SharedReaderTier:
@@ -272,10 +310,12 @@ class SharedReaderTier:
         registration, not mid-run:
 
         * the name must be unique and non-empty;
+        * the scheduling weight must be positive;
         * the job set must stay schedulable without starving anyone for
           more than one round (at most ``2 * num_readers`` jobs);
         * every partition in the epoch plan must be live in the job's
-          table;
+          table — or, for jobs landing lazily via ``prepare``, present
+          in the declared ``partition_rows`` stream;
         * every epoch must fill at least one training batch.
 
         Raises:
@@ -300,28 +340,41 @@ class SharedReaderTier:
                 f"{2 * self.num_readers}); widen the tier or run fewer "
                 "jobs"
             )
+        if not job.weight > 0.0:
+            raise ValueError(
+                f"job {job.name!r} has a non-positive scheduling weight "
+                f"({job.weight}); weights must be positive"
+            )
         if not job.epochs or any(not epoch for epoch in job.epochs):
             raise ValueError(
                 f"job {job.name!r} has an empty epoch plan: every epoch "
                 "must name at least one partition"
             )
+        if job.partition_rows is not None:
+            known = job.partition_rows
+            source = "the job's declared partition stream"
+        else:
+            known = {
+                name: info.num_rows
+                for name, info in job.table.partitions.items()
+            }
+            source = f"table {job.table.name!r}"
         for epoch_idx, epoch in enumerate(job.epochs):
-            dead = [p for p in epoch if p not in job.table.partitions]
+            dead = [p for p in epoch if p not in known]
             if dead:
                 raise ValueError(
                     f"job {job.name!r} epoch {epoch_idx} references "
-                    f"partition(s) {dead} not live in table "
-                    f"{job.table.name!r}; live: {job.table.live_partitions}"
+                    f"partition(s) {dead} not live in {source}; live: "
+                    f"{sorted(known)}"
                 )
             # Batches are partition-aligned (plan_epoch drops each
             # partition's sub-batch remainder), so the check must sum
             # per-partition floors, not floor the summed rows.
             batches = sum(
-                job.table.partitions[p].num_rows // job.config.batch_size
-                for p in epoch
+                known[p] // job.config.batch_size for p in epoch
             )
             if batches == 0:
-                rows = [job.table.partitions[p].num_rows for p in epoch]
+                rows = [known[p] for p in epoch]
                 raise ValueError(
                     f"job {job.name!r} epoch {epoch_idx} cannot fill one "
                     f"batch: {rows} rows across {len(epoch)} partition(s), "
@@ -390,6 +443,7 @@ class SharedReaderTier:
                 [job.name for job in active],
                 starved=starved,
                 demand=demand,
+                weights={job.name: job.weight for job in active},
                 policy=self.policy,
                 cursor=cursor,
             )
@@ -426,6 +480,10 @@ class SharedReaderTier:
         self, job: TierJob, epoch: int, workers: int
     ) -> JobRoundStat:
         """Lease ``workers`` readers to one job for one epoch."""
+        if job.prepare is not None:
+            # The job's lifecycle hook: rolling-window retention lands
+            # this epoch's partitions and ages out the expired ones.
+            job.prepare(epoch)
         fleet = ReaderFleet(
             workers,
             job.config,

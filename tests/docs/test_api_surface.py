@@ -1,0 +1,48 @@
+"""The public-API snapshot: ``repro.pipeline.__all__`` plus every spec
+dataclass's field names are diffed against a checked-in manifest
+(``tests/docs/api_manifest.json``), so run-surface changes are always
+deliberate — adding, renaming, or removing a public name or spec field
+fails CI until the manifest is updated in the same change."""
+
+import json
+from pathlib import Path
+
+import repro.pipeline
+from repro.pipeline.spec import spec_field_names
+
+MANIFEST_PATH = Path(__file__).with_name("api_manifest.json")
+
+
+def _current_surface() -> dict:
+    """The live public surface, in the manifest's shape."""
+    return {
+        "pipeline_all": sorted(repro.pipeline.__all__),
+        "spec_fields": spec_field_names(),
+    }
+
+
+def test_public_surface_matches_manifest():
+    """The snapshot diff.  On an intentional surface change, regenerate
+    the manifest:
+
+    ``python -c "import json, tests.docs.test_api_surface as t;
+    print(json.dumps(t._current_surface(), indent=2))"
+    > tests/docs/api_manifest.json``
+    """
+    manifest = json.loads(MANIFEST_PATH.read_text())
+    current = _current_surface()
+    assert current == manifest, (
+        "the public pipeline API surface changed; if intentional, "
+        f"update {MANIFEST_PATH.name} (see this test's docstring) and "
+        "document the change in docs/api.md"
+    )
+
+
+def test_all_names_resolve():
+    """Everything advertised in __all__ actually exists."""
+    missing = [
+        name
+        for name in repro.pipeline.__all__
+        if not hasattr(repro.pipeline, name)
+    ]
+    assert not missing, f"__all__ advertises missing names: {missing}"

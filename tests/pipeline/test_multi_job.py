@@ -167,21 +167,113 @@ class TestAutoscale:
             )
 
 
-class TestValidation:
-    def test_rejects_retention_configs(self, two_jobs):
-        retained = _job_cfg(
-            seed=1, num_partitions=4, retain_partitions=2
+class TestRetentionUnderSharing:
+    """The lifted guard: rolling-window retention composes with the
+    shared tier because both run the same Session epoch loop."""
+
+    def _retained_cfg(self, **kw):
+        kw.setdefault("num_partitions", 4)
+        kw.setdefault("retain_partitions", 2)
+        kw.setdefault("train_epochs", 3)
+        return _job_cfg(**kw)
+
+    def test_losses_bit_identical_to_solo_retention_run(self, two_jobs):
+        """The acceptance bar: a retention job under sharing trains
+        bit-identically to the same config run alone — land/age between
+        epochs included."""
+        retained = self._retained_cfg(seed=1)
+        shared = run_multi_job(
+            [retained, two_jobs[1]], num_readers=WIDTH, names=["r", "b"]
         )
-        with pytest.raises(ValueError, match="retain_partitions"):
-            run_multi_job([retained], num_readers=4)
+        solo = run_pipeline(retained)
+        assert shared.job("r").training.losses == solo.training.losses
+        assert shared.job("r").epoch_partitions == solo.epoch_partitions
+        assert (
+            shared.job("r").dropped_partitions == solo.dropped_partitions
+        )
 
-    def test_rejects_per_job_autoscale(self):
-        """Per-job autoscale has no per-job fleet to act on; the knob
-        belongs to run_multi_job (the shared pool)."""
-        scaled = _job_cfg(seed=1, autoscale=True)
-        with pytest.raises(ValueError, match="pass autoscale=True to"):
-            run_multi_job([scaled], num_readers=4)
+    def test_windows_slide_and_age_under_sharing(self):
+        res = run_multi_job(
+            [self._retained_cfg(seed=1)], num_readers=4, names=["r"]
+        )
+        job = res.job("r")
+        assert job.epoch_partitions == [
+            ["p0", "p1"],
+            ["p1", "p2"],
+            ["p2", "p3"],
+        ]
+        assert job.dropped_partitions == ["p0", "p1"]
 
+    def test_two_retention_jobs_stay_isolated(self):
+        """Each job ages its own table: two retention jobs sharing the
+        pool both match their solo windows and losses."""
+        a = self._retained_cfg(seed=1)
+        b = self._retained_cfg(seed=2, retain_partitions=1)
+        shared = run_multi_job([a, b], num_readers=8, names=["a", "b"])
+        for name, config in (("a", a), ("b", b)):
+            solo = run_pipeline(config)
+            assert (
+                shared.job(name).training.losses == solo.training.losses
+            )
+            assert (
+                shared.job(name).dropped_partitions
+                == solo.dropped_partitions
+            )
+
+
+class TestPerJobKnobs:
+    def test_per_job_autoscale_scales_the_shared_pool(self):
+        """The lifted guard: a config with autoscale=True no longer
+        raises — its scaling intent drives the pool autoscaler."""
+        scaled = _job_cfg(seed=1, autoscale=True, max_readers=32)
+        res = run_multi_job([scaled], num_readers=2)
+        trace = res.tier.scaling
+        assert trace is not None
+        assert res.tier.widths[0] == 2
+        solo = run_pipeline(_job_cfg(seed=1))
+        assert res.jobs[0].training.losses == solo.training.losses
+
+    def test_job_scaling_bound_never_undercuts_the_pool(self):
+        """A job's solo-fleet ScalingSpec cap (max_readers=4) promoted
+        to a 16-wide pool must not trip the pool autoscaler's bound
+        check — the bound widens to at least the pool width."""
+        capped = _job_cfg(
+            seed=1, autoscale=True, num_readers=2, max_readers=4
+        )
+        res = run_multi_job([capped, _job_cfg(seed=2)], num_readers=16)
+        assert res.tier.scaling is not None
+        assert res.tier.widths[0] == 16
+
+    def test_weights_bias_the_allocator(self, two_jobs):
+        """Equal-demand clones: a weight-3 job pulls more of the
+        surplus than its weight-1 twin, allocations still sum to the
+        width, and losses are untouched."""
+        clones = [_job_cfg(seed=1), _job_cfg(seed=1)]
+        res = run_multi_job(
+            clones,
+            num_readers=WIDTH,
+            names=["heavy", "light"],
+            weights=[3.0, 1.0],
+        )
+        for rnd in res.tier.rounds[1:]:
+            assert rnd.allocation["heavy"] > rnd.allocation["light"]
+            assert sum(rnd.allocation.values()) == WIDTH
+        even = run_multi_job(
+            clones, num_readers=WIDTH, names=["heavy", "light"]
+        )
+        assert (
+            res.job("heavy").training.losses
+            == even.job("heavy").training.losses
+        )
+
+    def test_weights_validated(self, two_jobs):
+        with pytest.raises(ValueError, match="weights for"):
+            run_multi_job(two_jobs, num_readers=4, weights=[1.0])
+        with pytest.raises(ValueError, match="positive"):
+            run_multi_job(two_jobs, num_readers=4, weights=[1.0, 0.0])
+
+
+class TestValidation:
     def test_rejects_bad_names(self, two_jobs):
         with pytest.raises(ValueError, match="duplicate"):
             run_multi_job(two_jobs, num_readers=4, names=["x", "x"])

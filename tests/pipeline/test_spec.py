@@ -1,0 +1,191 @@
+"""Spec-surface tests: composed-spec validation (every error names its
+spec and field), the legacy bridge (``from_legacy``/``to_legacy``
+round-trips every flat field), and derived config equivalence."""
+
+import dataclasses
+
+import pytest
+
+from repro.datagen import rm1
+from repro.pipeline import (
+    DataSpec,
+    JobSpec,
+    PipelineConfig,
+    ReaderSpec,
+    RecDToggles,
+    RetentionSpec,
+    ScalingSpec,
+    TrainSpec,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return rm1(scale=0.25)
+
+
+def _spec(workload, **kw) -> JobSpec:
+    kw.setdefault("data", DataSpec(workload=workload))
+    return JobSpec(**kw)
+
+
+class TestValidationNamesSpecAndField:
+    """Satellite acceptance: spec ``__post_init__`` errors carry the
+    spec and field name, not the old flat-config phrasing."""
+
+    @pytest.mark.parametrize(
+        ("build", "needle"),
+        [
+            (lambda w: DataSpec(w, num_sessions=0), "DataSpec.num_sessions"),
+            (
+                lambda w: DataSpec(w, num_partitions=0),
+                "DataSpec.num_partitions",
+            ),
+            (
+                lambda w: DataSpec(w, num_scribe_shards=-1),
+                "DataSpec.num_scribe_shards",
+            ),
+            (
+                lambda w: ReaderSpec(num_readers=0),
+                "ReaderSpec.num_readers",
+            ),
+            (
+                lambda w: ReaderSpec(prefetch_depth=0),
+                "ReaderSpec.prefetch_depth",
+            ),
+            (
+                lambda w: ReaderSpec(executor="threads"),
+                "ReaderSpec.executor",
+            ),
+            (
+                lambda w: TrainSpec(train_epochs=0),
+                "TrainSpec.train_epochs",
+            ),
+            (
+                lambda w: TrainSpec(train_batches=0),
+                "TrainSpec.train_batches",
+            ),
+            (lambda w: TrainSpec(batch_size=-5), "TrainSpec.batch_size"),
+            (
+                lambda w: ScalingSpec(target_stall=0.0),
+                "ScalingSpec.target_stall",
+            ),
+            (
+                lambda w: ScalingSpec(target_stall=1.0),
+                "ScalingSpec.target_stall",
+            ),
+            (
+                lambda w: ScalingSpec(max_readers=0),
+                "ScalingSpec.max_readers",
+            ),
+            (lambda w: RetentionSpec(window=0), "RetentionSpec.window"),
+        ],
+    )
+    def test_error_names_the_offending_field(self, workload, build, needle):
+        with pytest.raises(ValueError, match=needle.replace(".", r"\.")):
+            build(workload)
+
+    def test_jobspec_weight_and_name(self, workload):
+        with pytest.raises(ValueError, match=r"JobSpec\.weight"):
+            _spec(workload, weight=0.0)
+        with pytest.raises(ValueError, match=r"JobSpec\.weight"):
+            _spec(workload, weight=float("nan"))
+        with pytest.raises(ValueError, match=r"JobSpec\.name"):
+            _spec(workload, name="")
+
+    def test_scaling_bound_must_cover_initial_width(self, workload):
+        with pytest.raises(ValueError, match=r"ScalingSpec\.max_readers"):
+            _spec(
+                workload,
+                reader=ReaderSpec(num_readers=8),
+                scaling=ScalingSpec(max_readers=4),
+            )
+        # without scaling the same width is legal (fixed-width fleets
+        # are not bounded by the autoscaler's cap)
+        _spec(workload, reader=ReaderSpec(num_readers=64))
+
+
+class TestLegacyBridge:
+    def _legacy(self, workload, **kw) -> PipelineConfig:
+        kw.setdefault("toggles", RecDToggles.full())
+        kw.setdefault("num_sessions", 80)
+        kw.setdefault("batch_size", 32)
+        kw.setdefault("num_readers", 3)
+        kw.setdefault("prefetch_depth", 4)
+        kw.setdefault("num_partitions", 4)
+        kw.setdefault("train_epochs", 3)
+        kw.setdefault("seed", 7)
+        kw.setdefault("reader_executor", "inprocess")
+        return PipelineConfig(workload=workload, **kw)
+
+    def test_round_trip_is_exact(self, workload):
+        for extra in (
+            {},
+            {"autoscale": True, "target_stall": 0.2, "max_readers": 16},
+            {"retain_partitions": 2},
+            {"streaming": False, "train_batches": None},
+        ):
+            config = self._legacy(workload, **extra)
+            assert JobSpec.from_legacy(config).to_legacy() == config
+
+    def test_every_flat_field_has_a_spec_home(self, workload):
+        """The migration table in docs/api.md must stay total: every
+        PipelineConfig field round-trips through the specs."""
+        config = self._legacy(workload)
+        spec = JobSpec.from_legacy(config)
+        back = spec.to_legacy()
+        for f in dataclasses.fields(PipelineConfig):
+            assert getattr(back, f.name) == getattr(config, f.name), (
+                f"PipelineConfig.{f.name} lost in spec round-trip"
+            )
+
+    def test_streaming_override_routes_through_conversion(self, workload):
+        config = self._legacy(workload, streaming=True)
+        spec = JobSpec.from_legacy(config, streaming=False)
+        assert spec.reader.streaming is False
+        assert JobSpec.from_legacy(config).reader.streaming is True
+
+    def test_scaling_and_retention_map_to_presence(self, workload):
+        plain = JobSpec.from_legacy(self._legacy(workload))
+        assert plain.scaling is None and plain.retention is None
+        scaled = JobSpec.from_legacy(
+            self._legacy(workload, autoscale=True, max_readers=16)
+        )
+        assert scaled.scaling == ScalingSpec(
+            target_stall=0.10, max_readers=16
+        )
+        retained = JobSpec.from_legacy(
+            self._legacy(workload, retain_partitions=2)
+        )
+        assert retained.retention == RetentionSpec(window=2)
+
+    def test_coerce(self, workload):
+        config = self._legacy(workload)
+        spec = JobSpec.coerce(config)
+        assert isinstance(spec, JobSpec)
+        assert JobSpec.coerce(spec) is spec
+        with pytest.raises(TypeError, match="JobSpec or PipelineConfig"):
+            JobSpec.coerce({"workload": workload})
+
+    def test_derived_config_matches_legacy(self, workload):
+        """effective_batch_size and dataloader_config agree with the
+        flat config's own derivations under both toggle paths."""
+        for toggles in (RecDToggles.baseline(), RecDToggles.full()):
+            for batch_size in (None, 99):
+                config = PipelineConfig(
+                    workload=workload,
+                    toggles=toggles,
+                    batch_size=batch_size,
+                )
+                spec = JobSpec.from_legacy(config)
+                assert (
+                    spec.effective_batch_size == config.effective_batch_size
+                )
+                assert spec.dataloader_config() == config.dataloader_config()
+
+    def test_with_copies_top_level_fields(self, workload):
+        spec = _spec(workload)
+        heavier = spec.with_(weight=2.0, name="priority")
+        assert heavier.weight == 2.0 and heavier.name == "priority"
+        assert heavier.data is spec.data
+        assert spec.weight == 1.0

@@ -4,7 +4,7 @@ overlap attribution, and the fail-fast undersized-partition check."""
 
 import pytest
 
-import repro.pipeline.runner as runner_mod
+import repro.reader.tier_scheduler as tier_mod
 from repro.datagen import rm1
 from repro.pipeline import PipelineConfig, RecDToggles, run_pipeline
 
@@ -38,9 +38,15 @@ class TestStreamingEquivalence:
         assert streamed.overlap.streaming
         assert not materialized.overlap.streaming
 
-    def test_override_beats_config(self):
-        res = run_pipeline(_cfg(streaming=True), streaming=False)
+    def test_override_beats_config_but_is_deprecated(self):
+        """The streaming= keyword still overrides config.streaming (the
+        override routes through the spec conversion) but now warns."""
+        with pytest.warns(DeprecationWarning, match="streaming"):
+            res = run_pipeline(_cfg(streaming=True), streaming=False)
         assert not res.overlap.streaming
+        assert not res.spec.reader.streaming
+        # the caller's config comes back untouched
+        assert res.config.streaming
 
     def test_fractions_sum_to_one(self):
         res = run_pipeline(_cfg(num_readers=2))
@@ -135,7 +141,7 @@ class TestFailFastValidation:
                     "ReaderFleet constructed before size validation"
                 )
 
-        monkeypatch.setattr(runner_mod, "ReaderFleet", NoFleet)
+        monkeypatch.setattr(tier_mod, "ReaderFleet", NoFleet)
         with pytest.raises(ValueError, match="too small"):
             run_pipeline(
                 _cfg(num_sessions=2, batch_size=100_000, train_batches=2)
@@ -151,7 +157,7 @@ class TestFailFastValidation:
                     "ReaderFleet constructed before size validation"
                 )
 
-        monkeypatch.setattr(runner_mod, "ReaderFleet", NoFleet)
+        monkeypatch.setattr(tier_mod, "ReaderFleet", NoFleet)
         with pytest.raises(ValueError, match="partition"):
             run_pipeline(
                 _cfg(num_sessions=30, batch_size=200, num_partitions=8)

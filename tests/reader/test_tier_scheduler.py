@@ -148,6 +148,89 @@ class TestAllocateWorkers:
         assert allocate_workers(4, []) == {}
 
 
+class TestJobWeights:
+    """Per-job scheduling weights scale the stall-weighted demand
+    signal; the fairness floor and sum-to-width invariant survive."""
+
+    def test_weight_scales_equal_demand(self):
+        alloc = allocate_workers(
+            10,
+            ["heavy", "light"],
+            demand={"heavy": 1.0, "light": 1.0},
+            weights={"heavy": 3.0, "light": 1.0},
+        )
+        # 8 surplus workers split 3:1 -> 6 vs 2, plus the guaranteed 1
+        assert alloc == {"heavy": 7, "light": 3}
+
+    def test_default_weight_is_identity(self):
+        base = allocate_workers(
+            9, ["a", "b", "c"], demand={"a": 4.0, "b": 2.0, "c": 1.0}
+        )
+        explicit = allocate_workers(
+            9,
+            ["a", "b", "c"],
+            demand={"a": 4.0, "b": 2.0, "c": 1.0},
+            weights={"a": 1.0, "b": 1.0, "c": 1.0},
+        )
+        assert base == explicit
+
+    def test_fairness_floor_survives_extreme_weights(self):
+        alloc = allocate_workers(
+            4,
+            ["vip", "x", "y"],
+            demand={"vip": 1.0, "x": 1.0, "y": 1.0},
+            weights={"vip": 1e6},
+        )
+        assert all(w >= 1 for w in alloc.values())
+        assert sum(alloc.values()) == 4
+
+    def test_cold_start_still_splits_evenly(self):
+        """Weights scale *observed demand*; with no demand signal the
+        round falls back to the unweighted even split."""
+        alloc = allocate_workers(
+            8, ["a", "b"], weights={"a": 5.0, "b": 1.0}
+        )
+        assert alloc == {"a": 4, "b": 4}
+
+    def test_weight_breaks_priority_ties_when_oversubscribed(self):
+        """More jobs than workers: the weight-scaled demand decides who
+        gets the scarce single workers first."""
+        alloc = allocate_workers(
+            1,
+            ["a", "b"],
+            demand={"a": 1.0, "b": 1.0},
+            weights={"a": 1.0, "b": 2.0},
+        )
+        assert alloc == {"a": 0, "b": 1}
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        _width_and_jobs,
+        st.dictionaries(
+            st.sampled_from([f"j{i}" for i in range(24)]),
+            st.floats(0.0, 100.0),
+        ),
+        st.dictionaries(
+            st.sampled_from([f"j{i}" for i in range(24)]),
+            st.floats(0.1, 10.0),
+        ),
+    )
+    def test_invariants_hold_under_weights(self, width_jobs, demand, weights):
+        width, jobs = width_jobs
+        alloc = allocate_workers(
+            width, jobs, demand=demand, weights=weights
+        )
+        assert sum(alloc.values()) == width
+        if len(jobs) <= width:
+            assert all(w >= 1 for w in alloc.values())
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            allocate_workers(4, ["a"], weights={"a": 0.0})
+        with pytest.raises(ValueError, match="positive"):
+            allocate_workers(4, ["a"], weights={"a": -1.0})
+
+
 # -- SharedReaderTier ------------------------------------------------------
 
 
@@ -218,6 +301,84 @@ class TestAdmission:
             SharedReaderTier(2, policy="lifo")
         with pytest.raises(ValueError):
             SharedReaderTier(8, autoscale=True, max_readers=4)
+
+    def test_rejects_non_positive_job_weight(self):
+        tier = SharedReaderTier(2)
+        with pytest.raises(ValueError, match="weight"):
+            tier.register(
+                TierJob(
+                    "a", _landed(), _dl_config(), epochs=[["p"]], weight=0.0
+                )
+            )
+
+    def test_declared_stream_admits_unlanded_partitions(self):
+        """A lazy-landing job (retention) validates its plan against
+        partition_rows, not the live table — and still rejects plans
+        naming partitions outside the declared stream."""
+        tier = SharedReaderTier(2)
+        table = _landed()
+        tier.register(
+            TierJob(
+                "lazy",
+                table,
+                _dl_config(),
+                epochs=[["p"], ["future"]],
+                partition_rows={"p": 40, "future": 40},
+            )
+        )
+        with pytest.raises(ValueError, match="not live"):
+            tier.register(
+                TierJob(
+                    "bad",
+                    table,
+                    _dl_config(),
+                    epochs=[["nowhere"]],
+                    partition_rows={"p": 40},
+                )
+            )
+        with pytest.raises(ValueError, match="cannot fill one batch"):
+            tier.register(
+                TierJob(
+                    "tiny",
+                    table,
+                    _dl_config(),
+                    epochs=[["p"]],
+                    partition_rows={"p": 3},
+                )
+            )
+
+
+class TestPrepareHook:
+    def test_prepare_runs_before_each_scheduled_epoch(self):
+        """The lifecycle hook lands lazily: epoch 1's partition does
+        not exist at registration and is landed by prepare just in
+        time."""
+        schema = make_reader_schema()
+        samples = make_trace(schema, sessions=40)
+        table = land_samples(schema, samples[:20])  # lands "p" only
+        prepared = []
+
+        def prepare(epoch: int) -> None:
+            prepared.append(epoch)
+            if epoch == 1 and "q" not in table.partitions:
+                table.land_partition("q", samples[20:40])
+
+        tier = SharedReaderTier(2)
+        tier.register(
+            TierJob(
+                "lazy",
+                table,
+                _dl_config(batch_size=10),
+                epochs=[["p"], ["q"]],
+                executor="inprocess",
+                prepare=prepare,
+                partition_rows={"p": 20, "q": 20},
+            )
+        )
+        report = tier.run()
+        assert prepared == [0, 1]
+        assert len(report.rounds) == 2
+        assert tier.job_fleets["lazy"].merged.batches == 4
 
 
 class TestSchedule:
