@@ -8,6 +8,7 @@ Usage::
     python -m repro pipeline --rm RM2 --recd
     python -m repro multijob --jobs 2 --num-readers 8
     python -m repro multijob --job RM1 --job RM2:recd:sessions=80
+    python -m repro simulate --scenario crash-resume --verify
     python -m repro list
 
 Each subcommand prints the same paper-style rows the benchmark harness
@@ -42,6 +43,7 @@ from .pipeline import (
     table2_resource_util,
     table3_reader_bytes,
 )
+from .sim import build_scenario, scenario_names
 
 __all__ = ["main", "build_parser"]
 
@@ -435,6 +437,73 @@ def _cmd_multijob(args) -> int:
     return 0
 
 
+def _cmd_simulate(args) -> int:
+    scenario = build_scenario(
+        args.scenario, seed=args.seed, scale=args.scale
+    )
+    runner = scenario.runner()
+    res = runner.run()
+    print(f"scenario {scenario.name}: {scenario.description}")
+    print(
+        f"  jobs {len(res.slo.jobs)}, width {scenario.width}, "
+        f"seed {args.seed}"
+    )
+    print("fault trace:")
+    if not res.trace:
+        print("  (clean run — no events fired)")
+    for ev in res.trace:
+        detail = ", ".join(
+            f"{k}={v}"
+            for k, v in ev.items()
+            if k not in ("round", "job", "event")
+        )
+        print(
+            f"  round {ev['round']}: {ev['event']:12s} {ev['job']}"
+            + (f"  ({detail})" if detail else "")
+        )
+    slo = res.slo
+    print("SLO report:")
+    print(
+        f"  wall p50 {slo.p50_wall_seconds * 1e3:8.2f} ms  "
+        f"p99 {slo.p99_wall_seconds * 1e3:8.2f} ms  "
+        f"total {slo.total_wall_seconds * 1e3:8.2f} ms"
+    )
+    print(
+        f"  goodput {slo.goodput_batches_per_second:,.0f} batches/s  "
+        f"useful-cpu {100 * slo.useful_cpu_fraction:.1f}%  "
+        f"max starved rounds {slo.max_starved_rounds}"
+    )
+    print(
+        f"  churn: {slo.crashes} crash(es), "
+        f"{slo.straggler_shards} straggler shard(s), "
+        f"{slo.preemptions} preemption(s)"
+    )
+    for j in slo.jobs:
+        print(
+            f"  {j.job:8s} rounds {j.admitted_round}-{j.finished_round}  "
+            f"wall {j.wall_seconds * 1e3:8.2f} ms  "
+            f"queue {100 * j.queue_fraction:5.1f}%  "
+            f"epochs {j.epochs}  batches {j.batches}"
+        )
+    if args.verify:
+        base = runner.baseline()
+        diverged = sorted(
+            name for name in base if res.losses.get(name) != base[name]
+        )
+        if diverged:
+            print(f"VERIFY FAILED: losses diverged for {diverged}")
+            return 1
+        replay = scenario.runner().run()
+        if replay.fingerprint() != res.fingerprint():
+            print("VERIFY FAILED: replaying the seed changed the result")
+            return 1
+        print(
+            f"verify: {len(base)} job loss trajectories bit-identical "
+            "to the clean baseline; replay fingerprint identical"
+        )
+    return 0
+
+
 _COMMANDS = {
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
@@ -450,6 +519,7 @@ _COMMANDS = {
     "partial": _cmd_partial,
     "pipeline": _cmd_pipeline,
     "multijob": _cmd_multijob,
+    "simulate": _cmd_simulate,
 }
 
 
@@ -560,6 +630,18 @@ def build_parser() -> argparse.ArgumentParser:
             _add_train_args(p, shared=shared)
             _add_scaling_args(p, shared=shared)
             _add_retention_args(p)
+        if name == "simulate":
+            g = p.add_argument_group(
+                "scenario (repro.sim)", "which chaos experiment to run"
+            )
+            g.add_argument("--scenario", choices=scenario_names(),
+                           default="crash-resume",
+                           help="named scenario from the catalog")
+            g.add_argument("--verify", action="store_true",
+                           help="also run the clean baseline and a "
+                                "seed replay, asserting bit-identical "
+                                "losses and fingerprint (exit 1 on "
+                                "divergence)")
         if name == "multijob":
             g = p.add_argument_group(
                 "job set (JobSpec)", "which jobs share the pool"

@@ -8,6 +8,7 @@ from .breakdown import (
 from .counters import Counters, MemoryTracker
 from .overlap import OverlapReport
 from .scaling import ScalingDecision, ScalingTrace
+from .slo import JobSLO, SLOReport, percentile
 from .tier import JobRoundStat, TierReport, TierRound
 
 __all__ = [
@@ -15,11 +16,14 @@ __all__ = [
     "MemoryTracker",
     "IterationBreakdown",
     "JobRoundStat",
+    "JobSLO",
     "OverlapReport",
+    "percentile",
     "QueueWaitBreakdown",
     "ReaderCpuBreakdown",
     "ScalingDecision",
     "ScalingTrace",
+    "SLOReport",
     "TierReport",
     "TierRound",
 ]

@@ -1,0 +1,243 @@
+"""Tier SLOs under churn: job wall-clock percentiles, starvation, goodput.
+
+A production reader tier is judged by service-level objectives, not by
+any single job's throughput: what wall-clock did the p50/p99 job pay
+end to end, how long was any job starved of workers, and how much of
+the pool's CPU turned into *useful* training batches once crashes and
+stragglers took their cut.  This module rolls a
+:class:`~repro.metrics.tier.TierReport` (plus the per-job
+:class:`~repro.reader.fleet.FleetReport` fault counters) into one
+:class:`SLOReport` — the scoreboard the fault-injection scenario
+simulator (``repro.sim``) emits for every run.
+
+All inputs are modeled (cost-model seconds), so an ``SLOReport`` is
+bit-reproducible: replaying a seeded scenario reproduces the identical
+report, which the chaos test tier asserts.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from ..reader.fleet import FleetReport
+from .tier import TierReport
+
+__all__ = ["JobSLO", "SLOReport", "percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile — deterministic, no interpolation.
+
+    Args:
+        values: the sample (need not be sorted).
+        q: the percentile in ``[0, 100]``.
+
+    Returns:
+        The smallest sample value such that at least ``q`` percent of
+        the sample is <= it (``0.0`` for an empty sample).
+
+    Raises:
+        ValueError: if ``q`` is outside ``[0, 100]``.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass(frozen=True)
+class JobSLO:
+    """One job's service-level accounting over a tier run.
+
+    Attributes:
+        job: the job's report name.
+        admitted_round: first round the job was scheduled or skipped.
+        finished_round: last round the job was scheduled or skipped.
+        wall_seconds: modeled wall-clock the job was in the system —
+            the sum of round walls from admission through finish,
+            *including* rounds it spent starved or descheduled
+            (that queueing time is exactly what an SLO charges for).
+        busy_seconds: modeled wall of only the rounds the job actually
+            held workers.
+        starved_rounds: rounds the job was active but got zero workers.
+        epochs: epochs the job trained (rounds it held workers).
+        batches: batches the job trained.
+    """
+
+    job: str
+    admitted_round: int
+    finished_round: int
+    wall_seconds: float
+    busy_seconds: float
+    starved_rounds: int
+    epochs: int
+    batches: int
+
+    @property
+    def queue_fraction(self) -> float:
+        """Share of the job's in-system wall spent not holding workers."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return 1.0 - self.busy_seconds / self.wall_seconds
+
+
+@dataclass
+class SLOReport:
+    """The tier run rolled up into its service-level scoreboard.
+
+    Attributes:
+        jobs: per-job accounting, in first-scheduled order.
+        total_wall_seconds: the run's modeled end-to-end wall-clock.
+        reader_cpu_seconds: total modeled reader CPU consumed,
+            including redone work after crashes.
+        wasted_cpu_seconds: modeled reader CPU lost to crashed workers
+            (work redone by the respawn).
+        crashes: reader worker crashes injected over the run.
+        straggler_shards: shard scans slowed by injected stragglers.
+        preemptions: jobs preempted (and later resumed) by the driver.
+    """
+
+    jobs: list[JobSLO] = field(default_factory=list)
+    total_wall_seconds: float = 0.0
+    reader_cpu_seconds: float = 0.0
+    wasted_cpu_seconds: float = 0.0
+    crashes: int = 0
+    straggler_shards: int = 0
+    preemptions: int = 0
+
+    @classmethod
+    def from_run(
+        cls,
+        report: TierReport,
+        fleets: Mapping[str, FleetReport] | None = None,
+        preemptions: int = 0,
+    ) -> "SLOReport":
+        """Roll a finished tier run into its SLO scoreboard.
+
+        Args:
+            report: the tier's round-by-round report.
+            fleets: per-job merged fleet reports (the tier's
+                ``job_fleets``) carrying the crash/straggler/waste
+                counters; ``None`` reads as a fault-free run.
+            preemptions: driver-side preemption count to record.
+
+        Returns:
+            The run's :class:`SLOReport`.
+        """
+        walls = [r.modeled_wall_seconds for r in report.rounds]
+        jobs: list[JobSLO] = []
+        for name in report.jobs:
+            present = [
+                r.index
+                for r in report.rounds
+                if name in r.skipped or any(s.job == name for s in r.stats)
+            ]
+            admitted, finished = present[0], present[-1]
+            stats = report.job_rounds(name)
+            jobs.append(
+                JobSLO(
+                    job=name,
+                    admitted_round=admitted,
+                    finished_round=finished,
+                    wall_seconds=sum(walls[admitted : finished + 1]),
+                    busy_seconds=sum(
+                        walls[r.index]
+                        for r in report.rounds
+                        if any(s.job == name for s in r.stats)
+                    ),
+                    starved_rounds=sum(
+                        1 for r in report.rounds if name in r.skipped
+                    ),
+                    epochs=len(stats),
+                    batches=sum(s.batches for s in stats),
+                )
+            )
+        fleets = fleets or {}
+        return cls(
+            jobs=jobs,
+            total_wall_seconds=report.modeled_wall_seconds,
+            reader_cpu_seconds=sum(
+                s.reader_cpu_seconds
+                for r in report.rounds
+                for s in r.stats
+            ),
+            wasted_cpu_seconds=sum(
+                f.wasted_cpu_seconds for f in fleets.values()
+            ),
+            crashes=sum(f.crashes for f in fleets.values()),
+            straggler_shards=sum(
+                f.straggler_shards for f in fleets.values()
+            ),
+            preemptions=preemptions,
+        )
+
+    # -- the headline SLOs ---------------------------------------------------
+
+    @property
+    def p50_wall_seconds(self) -> float:
+        """Median job wall-clock (nearest-rank)."""
+        return percentile([j.wall_seconds for j in self.jobs], 50.0)
+
+    @property
+    def p99_wall_seconds(self) -> float:
+        """p99 job wall-clock (nearest-rank; the tail the SLO guards)."""
+        return percentile([j.wall_seconds for j in self.jobs], 99.0)
+
+    @property
+    def max_starved_rounds(self) -> int:
+        """Worst per-job starved-round count — the fairness bound keeps
+        any *consecutive* streak at <= 1 even under churn."""
+        return max((j.starved_rounds for j in self.jobs), default=0)
+
+    @property
+    def total_batches(self) -> int:
+        """Batches trained across every job."""
+        return sum(j.batches for j in self.jobs)
+
+    @property
+    def goodput_batches_per_second(self) -> float:
+        """Useful training batches per modeled wall second — the
+        goodput-under-churn headline."""
+        if self.total_wall_seconds <= 0.0:
+            return 0.0
+        return self.total_batches / self.total_wall_seconds
+
+    @property
+    def useful_cpu_fraction(self) -> float:
+        """Share of reader CPU that was not crash-redone work."""
+        if self.reader_cpu_seconds <= 0.0:
+            return 1.0
+        return 1.0 - self.wasted_cpu_seconds / self.reader_cpu_seconds
+
+    def as_dict(self) -> dict:
+        """Serialize to plain dicts — stable across replays of the same
+        seed, so two reports can be compared with ``==``."""
+        return {
+            "jobs": [
+                {
+                    "job": j.job,
+                    "admitted_round": j.admitted_round,
+                    "finished_round": j.finished_round,
+                    "wall_seconds": j.wall_seconds,
+                    "busy_seconds": j.busy_seconds,
+                    "starved_rounds": j.starved_rounds,
+                    "epochs": j.epochs,
+                    "batches": j.batches,
+                }
+                for j in self.jobs
+            ],
+            "total_wall_seconds": self.total_wall_seconds,
+            "reader_cpu_seconds": self.reader_cpu_seconds,
+            "wasted_cpu_seconds": self.wasted_cpu_seconds,
+            "crashes": self.crashes,
+            "straggler_shards": self.straggler_shards,
+            "preemptions": self.preemptions,
+            "p50_wall_seconds": self.p50_wall_seconds,
+            "p99_wall_seconds": self.p99_wall_seconds,
+            "goodput_batches_per_second": self.goodput_batches_per_second,
+        }

@@ -5,8 +5,9 @@ Two run surfaces share one engine:
 * the **spec surface** (preferred) — compose a
   :class:`~repro.pipeline.spec.JobSpec` from small spec dataclasses
   (:class:`DataSpec`, :class:`ReaderSpec`, :class:`TrainSpec`,
-  :class:`ScalingSpec`, :class:`RetentionSpec`) and execute one or many
-  with :class:`~repro.pipeline.session.Session`;
+  :class:`ScalingSpec`, :class:`RetentionSpec`, :class:`CheckpointSpec`,
+  :class:`FaultSpec`) and execute one or many with
+  :class:`~repro.pipeline.session.Session`;
 * the **legacy surface** — the flat :class:`PipelineConfig` through
   :func:`run_pipeline` / :func:`run_multi_job`, thin adapters over the
   same ``Session`` (bit-identical outputs; see ``docs/api.md`` for the
@@ -47,9 +48,11 @@ from .runner import (
     plan_retention_windows,
     run_pipeline,
 )
-from .session import Session
+from .session import JobRuntime, Session
 from .spec import (
+    CheckpointSpec,
     DataSpec,
+    FaultSpec,
     JobSpec,
     ReaderSpec,
     RetentionSpec,
@@ -65,7 +68,10 @@ __all__ = [
     "TrainSpec",
     "ScalingSpec",
     "RetentionSpec",
+    "CheckpointSpec",
+    "FaultSpec",
     "JobSpec",
+    "JobRuntime",
     "Session",
     "PipelineResult",
     "run_pipeline",

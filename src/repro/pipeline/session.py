@@ -56,14 +56,16 @@ from ..scribe.message import split_sample
 from ..scribe.sharding import ShardKeyPolicy
 from ..storage.hive import HiveTable, PartitionInfo
 from ..storage.tectonic import TectonicFS
+from ..trainer.checkpoint import ModelStore
 from ..trainer.model import DLRM, DLRMConfig
 from .config import PipelineConfig
-from .spec import JobSpec, ScalingSpec
+from .spec import CheckpointSpec, JobSpec, ScalingSpec
 
 __all__ = [
     "PipelineResult",
     "JobResult",
     "MultiJobResult",
+    "JobRuntime",
     "Session",
     "build_trainer",
     "land_table",
@@ -364,13 +366,56 @@ def build_trainer(job: JobSpec | PipelineConfig) -> DistributedTrainer:
 # -- the engine --------------------------------------------------------------
 
 
-class _JobState:
-    """One registered job's runtime state inside a Session."""
+class JobRuntime:
+    """One registered job's live state inside a :class:`Session`.
 
-    def __init__(self, name: str, spec: JobSpec):
+    Public because open-loop drivers — the scenario simulator in
+    ``repro.sim`` — build these directly to preempt, checkpoint, and
+    resume jobs between scheduling rounds.  A runtime built from a spec
+    carrying a :class:`~repro.pipeline.spec.CheckpointSpec` restores
+    the named snapshot into its freshly built trainer and registers
+    only the plan's remaining epochs (``start_epoch`` onward), which is
+    exactly the shape a preempted job resumes in: because restore is
+    exact and batch content never depends on scheduling, the resumed
+    losses are bit-identical to the uninterrupted run's tail.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        spec: JobSpec,
+        *,
+        model_store: ModelStore | None = None,
+    ):
+        """Prepare one job: trainer (restored if resuming), table, plan.
+
+        Args:
+            name: the job's report name.
+            spec: the job's composed spec.
+            model_store: the session's snapshot store; required when
+                ``spec.checkpoint.restore_from`` is set.
+
+        Raises:
+            ValueError: if the spec restores a snapshot but no model
+                store was given, or an epoch window cannot fill one
+                batch.
+            FileNotFoundError: if the snapshot to restore does not
+                exist in the store.
+        """
         self.name = name
         self.spec = spec
+        ckpt = spec.checkpoint
+        self.start_epoch = ckpt.start_epoch if ckpt is not None else 0
         self.trainer = build_trainer(spec)
+        if ckpt is not None and ckpt.restore_from is not None:
+            if model_store is None:
+                raise ValueError(
+                    f"job {name!r} restores snapshot "
+                    f"{ckpt.restore_from!r} but no model store was "
+                    "given (Session(model_store=...))"
+                )
+            model_store.load(ckpt.restore_from, self.trainer.model)
+        start = self.start_epoch
         self.partitions: list[PartitionInfo] = []
         if spec.retention is None:
             (
@@ -385,7 +430,8 @@ class _JobState:
             )
             window = [p.name for p in self.partitions]
             self.epochs = [
-                list(window) for _ in range(spec.train.train_epochs)
+                list(window)
+                for _ in range(spec.train.train_epochs - start)
             ]
             prepare = None
             partition_rows = None
@@ -404,10 +450,10 @@ class _JobState:
                 spec.retention.window,
                 spec.train.train_epochs,
             )
-            self.epochs = [[f"p{i}" for i in w] for w in windows]
+            self.epochs = [[f"p{i}" for i in w] for w in windows[start:]]
             partition_rows = {
-                f"p{i}": stop - start
-                for i, (start, stop) in enumerate(slices)
+                f"p{i}": stop - start_
+                for i, (start_, stop) in enumerate(slices)
             }
             # Fail fast on the first window, from planned row counts —
             # before the trainer ever sees an empty epoch.
@@ -418,13 +464,15 @@ class _JobState:
 
             def prepare(epoch: int) -> None:
                 """Land this epoch's window, then age out anything older
-                — the between-epoch retention lifecycle."""
-                window = windows[epoch]
+                — the between-epoch retention lifecycle.  ``epoch``
+                indexes this registration's plan, so a resumed job
+                offsets into the full window schedule."""
+                window = windows[start + epoch]
                 for idx in window:
                     if idx not in landed:
-                        start, stop = slices[idx]
+                        lo, hi = slices[idx]
                         landed[idx] = self.table.land_partition(
-                            f"p{idx}", self.samples[start:stop]
+                            f"p{idx}", self.samples[lo:hi]
                         )
                         self.partitions.append(landed[idx])
                 for idx in [i for i in sorted(landed) if i < window[0]]:
@@ -461,6 +509,29 @@ class _JobState:
             prepare=prepare,
             partition_rows=partition_rows,
         )
+
+    @property
+    def snapshot_name(self) -> str:
+        """The store name this job's snapshots land under."""
+        ckpt = self.spec.checkpoint
+        if ckpt is not None and ckpt.save_as is not None:
+            return ckpt.save_as
+        return self.name
+
+    def checkpoint(self, model_store: ModelStore) -> int:
+        """Snapshot the trainer's model state into the store.
+
+        Called by a preempting driver at an epoch boundary (the tier
+        only preempts between rounds, so the model is never mid-epoch).
+
+        Args:
+            model_store: the store to snapshot into, under
+                :attr:`snapshot_name`.
+
+        Returns:
+            The snapshot's version number.
+        """
+        return model_store.save(self.snapshot_name, self.trainer.model)
 
     def job_result(
         self, fleet: FleetReport, report: TierReport
@@ -525,6 +596,13 @@ class Session:
     ``scaling`` argument, else the registered jobs' own
     :class:`~repro.pipeline.spec.ScalingSpec`\\ s (tightest
     ``target_stall``, widest ``max_readers``), else fixed width.
+
+    :meth:`run` is the closed loop.  Open-loop drivers — the scenario
+    simulator in ``repro.sim`` — instead call :meth:`prepare`, step the
+    returned tier themselves, and may :meth:`preempt` a job (it
+    checkpoints into the session's ``model_store`` and comes back as a
+    resume spec) or :meth:`admit` a new or resumed job between rounds,
+    then :meth:`collect` the results.
     """
 
     def __init__(
@@ -535,6 +613,7 @@ class Session:
         policy: str = "stall_weighted",
         scaling: ScalingSpec | None = None,
         names: Sequence[str] | None = None,
+        model_store: ModelStore | None = None,
     ):
         """Configure the session.
 
@@ -548,6 +627,9 @@ class Session:
             scaling: pool-level autoscaling override; ``None`` defers
                 to the jobs' own specs.
             names: report names overriding each spec's ``name``.
+            model_store: snapshot store for checkpoint/resume; required
+                by :meth:`preempt` and by any spec whose
+                ``CheckpointSpec`` restores a snapshot.
 
         Raises:
             ValueError: on an empty job list, missing multi-job width,
@@ -596,6 +678,183 @@ class Session:
                     ),
                 )
         self.scaling = scaling
+        self.model_store = model_store
+        self.tier: SharedReaderTier | None = None
+        self._runtimes: dict[str, JobRuntime] = {}
+
+    def prepare(self) -> SharedReaderTier:
+        """Build the tier and every job's runtime; register everything.
+
+        Called implicitly by :meth:`run`; open-loop drivers call it
+        directly, then :meth:`~SharedReaderTier.start`/``step`` the
+        returned tier themselves.
+
+        Returns:
+            The session's :class:`~repro.reader.tier_scheduler.SharedReaderTier`
+            (also left in :attr:`tier`).
+
+        Raises:
+            RuntimeError: if the session was already prepared.
+            ValueError: from spec validation, an epoch window that
+                cannot fill one batch, or tier admission.
+        """
+        if self.tier is not None:
+            raise RuntimeError(
+                "session already prepared; build a new Session to rerun"
+            )
+        scaling = self.scaling
+
+        def injector(round_index, name, epoch):
+            """Map a job's FaultSpec onto its scheduled epochs (a
+            resumed job's plan offsets by its start epoch)."""
+            runtime = self._runtimes.get(name)
+            if runtime is None or runtime.spec.faults is None:
+                return None
+            return runtime.spec.faults.for_epoch(
+                runtime.start_epoch + epoch
+            )
+
+        self.tier = SharedReaderTier(
+            self.width,
+            policy=self.policy,
+            autoscale=scaling is not None,
+            target_stall=(
+                scaling.target_stall if scaling is not None else 0.10
+            ),
+            max_readers=(
+                scaling.max_readers if scaling is not None else 32
+            ),
+            fault_injector=injector,
+        )
+        for name, spec in zip(self.names, self.specs):
+            runtime = JobRuntime(name, spec, model_store=self.model_store)
+            self._runtimes[name] = runtime
+            self.tier.register(runtime.tier_job)
+        return self.tier
+
+    def runtime(self, name: str) -> JobRuntime:
+        """The named job's live :class:`JobRuntime`.
+
+        Raises:
+            KeyError: if no such job exists in this session.
+        """
+        if name not in self._runtimes:
+            raise KeyError(
+                f"no job named {name!r}; jobs: {list(self._runtimes)}"
+            )
+        return self._runtimes[name]
+
+    def preempt(self, name: str) -> JobSpec:
+        """Checkpoint and deschedule a job mid-run.
+
+        The job's model state snapshots into the session's
+        ``model_store`` and the tier stops scheduling it (its name
+        frees up).  The returned spec — the job's own spec with a
+        :class:`~repro.pipeline.spec.CheckpointSpec` pointing at the
+        snapshot and the first epoch still unrun — is everything
+        :meth:`admit` needs to resume the job later, bit-identically.
+
+        Args:
+            name: the registered job to preempt.
+
+        Returns:
+            The resume spec.
+
+        Raises:
+            KeyError: if no such job is registered.
+            ValueError: if the session has no ``model_store`` or the
+                job already finished its plan.
+            RuntimeError: if called before :meth:`prepare`.
+        """
+        if self.tier is None:
+            raise RuntimeError("session not prepared; nothing to preempt")
+        if self.model_store is None:
+            raise ValueError(
+                "preempting checkpoints the job, which needs "
+                "Session(model_store=...)"
+            )
+        runtime = self.runtime(name)
+        done_here = self.tier.preempt(name)
+        done = runtime.start_epoch + done_here
+        if done >= runtime.spec.train.train_epochs:
+            raise ValueError(
+                f"job {name!r} already finished its "
+                f"{runtime.spec.train.train_epochs}-epoch plan; "
+                "nothing to resume"
+            )
+        runtime.checkpoint(self.model_store)
+        del self._runtimes[name]
+        return runtime.spec.with_(
+            checkpoint=CheckpointSpec(
+                restore_from=runtime.snapshot_name,
+                start_epoch=done,
+                save_as=runtime.snapshot_name,
+            )
+        )
+
+    def admit(self, spec: JobSpec | PipelineConfig, name: str) -> JobRuntime:
+        """Register a new or resumed job mid-run.
+
+        The tier grants the newcomer strict next-round priority, so an
+        admitted job is never starved more than one round.
+
+        Args:
+            spec: the job's spec — typically a :meth:`preempt` return
+                value when resuming.
+            name: the job's report name (a preempted job resumes under
+                its old name).
+
+        Returns:
+            The admitted job's :class:`JobRuntime`.
+
+        Raises:
+            RuntimeError: if called before :meth:`prepare`.
+            ValueError: from spec validation or tier admission (name
+                still in use, tier at capacity).
+        """
+        if self.tier is None:
+            raise RuntimeError("session not prepared; nothing to admit to")
+        spec = JobSpec.coerce(spec)
+        runtime = JobRuntime(name, spec, model_store=self.model_store)
+        self.tier.register(runtime.tier_job)
+        self._runtimes[name] = runtime
+        return runtime
+
+    def collect(
+        self, wall_seconds: float = 0.0
+    ) -> PipelineResult | MultiJobResult:
+        """Assemble results for every job still registered.
+
+        A resumed job's result covers its current registration (the
+        epochs since its last resume); drivers stitching full
+        trajectories across preemptions track the per-segment losses
+        themselves.
+
+        Args:
+            wall_seconds: measured loop wall-clock for the single-job
+                overlap attribution (:meth:`run` passes it).
+
+        Raises:
+            RuntimeError: if the tier has not finished.
+        """
+        if self.tier is None or self.tier.report is None:
+            raise RuntimeError(
+                "session has no finished tier run to collect from"
+            )
+        report = self.tier.report
+        runtimes = list(self._runtimes.values())
+        if self._single and len(runtimes) == 1:
+            runtime = runtimes[0]
+            return runtime.pipeline_result(
+                self.tier.job_fleets[runtime.name], report, wall_seconds
+            )
+        return MultiJobResult(
+            jobs=[
+                rt.job_result(self.tier.job_fleets[rt.name], report)
+                for rt in runtimes
+            ],
+            tier=report,
+        )
 
     def run(self) -> PipelineResult | MultiJobResult:
         """Prepare every job, then run scheduling rounds to completion.
@@ -608,36 +867,8 @@ class Session:
             ValueError: from spec validation, an epoch window that
                 cannot fill one batch, or tier admission.
         """
-        scaling = self.scaling
-        tier = SharedReaderTier(
-            self.width,
-            policy=self.policy,
-            autoscale=scaling is not None,
-            target_stall=(
-                scaling.target_stall if scaling is not None else 0.10
-            ),
-            max_readers=(
-                scaling.max_readers if scaling is not None else 32
-            ),
-        )
-        states = [
-            _JobState(name, spec)
-            for name, spec in zip(self.names, self.specs)
-        ]
-        for state in states:
-            tier.register(state.tier_job)
+        tier = self.prepare()
         loop_started = time.perf_counter()
-        report = tier.run()
+        tier.run()
         loop_wall = time.perf_counter() - loop_started
-        if self._single:
-            state = states[0]
-            return state.pipeline_result(
-                tier.job_fleets[state.name], report, loop_wall
-            )
-        return MultiJobResult(
-            jobs=[
-                state.job_result(tier.job_fleets[state.name], report)
-                for state in states
-            ],
-            tier=report,
-        )
+        return self.collect(loop_wall)

@@ -16,6 +16,10 @@ into small spec dataclasses, each owning one concern:
 * :class:`ScalingSpec` — whether and how the fleet/pool width adapts:
   target stall band and width bound.
 * :class:`RetentionSpec` — the rolling partition window.
+* :class:`CheckpointSpec` — where training (re)starts: the snapshot to
+  restore and the epoch the plan resumes from.
+* :class:`FaultSpec` — deterministic reader faults (shard crashes and
+  stragglers) injected into the job's scheduled epochs.
 
 A :class:`JobSpec` composes them (plus a scheduling ``weight`` and an
 optional ``name``) into everything one training job needs, and
@@ -32,10 +36,12 @@ construction is diagnosable without a traceback spelunk.
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass, field, fields, replace
 
 from ..datagen.workloads import RMWorkload
 from ..reader.config import DataLoaderConfig
+from ..reader.fleet import FleetFaults
 from .config import PipelineConfig, RecDToggles
 
 __all__ = [
@@ -44,6 +50,8 @@ __all__ = [
     "TrainSpec",
     "ScalingSpec",
     "RetentionSpec",
+    "CheckpointSpec",
+    "FaultSpec",
     "JobSpec",
 ]
 
@@ -211,6 +219,128 @@ class RetentionSpec:
 
 
 @dataclass(frozen=True)
+class CheckpointSpec:
+    """Where training (re)starts: snapshot restore and epoch offset.
+
+    Attaching a ``CheckpointSpec`` to a :class:`JobSpec` makes the job
+    resumable: the engine restores ``restore_from`` (latest version)
+    out of the session's :class:`~repro.trainer.checkpoint.ModelStore`
+    into the freshly built trainer, and the epoch plan skips the first
+    ``start_epoch`` epochs — exactly the shape a preempted job is
+    re-registered in.  Because checkpoint/restore is exact and batch
+    content never depends on scheduling, the resumed loss trajectory is
+    bit-identical to the uninterrupted run's tail.
+
+    Attributes:
+        restore_from: snapshot name in the session's model store to
+            restore before training (``None`` = fresh seeded init).
+        start_epoch: epochs of the plan already completed before this
+            registration; the job trains epochs ``start_epoch ..
+            train_epochs-1``.
+        save_as: snapshot name the session checkpoints this job under
+            (defaults to the job's report name).
+    """
+
+    restore_from: str | None = None
+    start_epoch: int = 0
+    save_as: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_epoch < 0:
+            raise ValueError(
+                "CheckpointSpec.start_epoch must be non-negative, got "
+                f"{self.start_epoch}"
+            )
+        if self.restore_from is not None and not self.restore_from:
+            raise ValueError(
+                "CheckpointSpec.restore_from must be non-empty when set"
+            )
+        if self.start_epoch > 0 and self.restore_from is None:
+            raise ValueError(
+                "CheckpointSpec.start_epoch > 0 needs restore_from: "
+                "skipping epochs without restoring their weights would "
+                "silently change the loss trajectory"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Deterministic reader faults injected into a job's epochs.
+
+    Attaching a ``FaultSpec`` to a :class:`JobSpec` makes named shard
+    positions crash (the respawned worker re-scans, charging wasted
+    CPU) or straggle (scaled CPU cost) during named epochs of *this
+    job's* plan.  Faults only perturb the modeled cost surface — batch
+    content and losses stay bit-identical — and they force the
+    deterministic in-process executor, so a seeded faulty run is as
+    replayable as a clean one.
+
+    Attributes:
+        crashes: epoch index → shard positions (modulo the epoch's
+            shard count) whose worker crashes mid-scan.
+        stragglers: epoch index → {shard position: slowdown factor
+            >= 1.0}.
+        lost_fraction: fraction of a crashed shard's work lost and
+            redone, in ``[0, 1]``.
+    """
+
+    crashes: Mapping[int, tuple[int, ...]] = field(default_factory=dict)
+    stragglers: Mapping[int, Mapping[int, float]] = field(
+        default_factory=dict
+    )
+    lost_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for epoch, shards in self.crashes.items():
+            if epoch < 0:
+                raise ValueError(
+                    f"FaultSpec.crashes epoch must be non-negative, "
+                    f"got {epoch}"
+                )
+            for pos in shards:
+                if pos < 0:
+                    raise ValueError(
+                        "FaultSpec.crashes shard positions must be "
+                        f"non-negative, got {pos} (epoch {epoch})"
+                    )
+        for epoch, factors in self.stragglers.items():
+            if epoch < 0:
+                raise ValueError(
+                    f"FaultSpec.stragglers epoch must be non-negative, "
+                    f"got {epoch}"
+                )
+            for pos, factor in factors.items():
+                if pos < 0:
+                    raise ValueError(
+                        "FaultSpec.stragglers shard positions must be "
+                        f"non-negative, got {pos} (epoch {epoch})"
+                    )
+                if not factor >= 1.0:
+                    raise ValueError(
+                        "FaultSpec.stragglers factors must be >= 1.0, "
+                        f"got {factor} (epoch {epoch}, shard {pos})"
+                    )
+        if not 0.0 <= self.lost_fraction <= 1.0:
+            raise ValueError(
+                "FaultSpec.lost_fraction must be in [0, 1], got "
+                f"{self.lost_fraction}"
+            )
+
+    def for_epoch(self, epoch: int) -> FleetFaults | None:
+        """The epoch's :class:`~repro.reader.fleet.FleetFaults`, or
+        ``None`` when this epoch runs clean."""
+        crashed = tuple(self.crashes.get(epoch, ()))
+        factors = dict(self.stragglers.get(epoch, {}))
+        if not crashed and not factors:
+            return None
+        return FleetFaults(
+            crashed_shards=crashed,
+            straggler_factors=factors,
+            lost_fraction=self.lost_fraction,
+        )
+
+
+@dataclass(frozen=True)
 class JobSpec:
     """One training job, as composed specs.
 
@@ -227,6 +357,10 @@ class JobSpec:
         scaling: adaptive width when set; fixed width when ``None``.
         retention: rolling partition window when set; keep-everything
             when ``None``.
+        checkpoint: snapshot restore + epoch offset when set; a fresh
+            full run when ``None``.
+        faults: deterministic reader faults when set; clean epochs
+            when ``None``.
         weight: scheduling weight under a shared tier — the
             stall-weighted allocator scales this job's observed reader
             demand by it, so a weight-2 job pulls roughly twice the
@@ -239,6 +373,8 @@ class JobSpec:
     train: TrainSpec = TrainSpec()
     scaling: ScalingSpec | None = None
     retention: RetentionSpec | None = None
+    checkpoint: CheckpointSpec | None = None
+    faults: FaultSpec | None = None
     weight: float = 1.0
     name: str | None = None
 
@@ -250,6 +386,21 @@ class JobSpec:
             )
         if self.name is not None and not self.name:
             raise ValueError("JobSpec.name must be non-empty when set")
+        if (
+            self.checkpoint is not None
+            and self.checkpoint.start_epoch >= self.train.train_epochs
+        ):
+            raise ValueError(
+                f"CheckpointSpec.start_epoch ({self.checkpoint.start_epoch})"
+                f" must be < TrainSpec.train_epochs "
+                f"({self.train.train_epochs}): a resumed job needs at "
+                "least one epoch left to run"
+            )
+        if self.faults is not None and self.reader.executor == "process":
+            raise ValueError(
+                "FaultSpec needs the deterministic in-process executor; "
+                'set ReaderSpec.executor to "auto" or "inprocess"'
+            )
         if (
             self.scaling is not None
             and self.scaling.max_readers < self.reader.num_readers
@@ -436,6 +587,8 @@ def spec_field_names() -> dict[str, list[str]]:
             TrainSpec,
             ScalingSpec,
             RetentionSpec,
+            CheckpointSpec,
+            FaultSpec,
             JobSpec,
         )
     }

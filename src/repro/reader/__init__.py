@@ -6,7 +6,7 @@ from .config import DataLoaderConfig
 from .convert import ConvertStats, convert_rows
 from .costmodel import ReaderCostModel
 from .fill import FillStats, fill_batches
-from .fleet import FleetReport, ReaderFleet
+from .fleet import FleetFaults, FleetReport, ReaderFleet
 from .node import ReaderNode, ReaderReport
 from .preprocess import (
     TRANSFORM_REGISTRY,
@@ -30,6 +30,7 @@ __all__ = [
     "ReaderCostModel",
     "fill_batches",
     "FillStats",
+    "FleetFaults",
     "FleetReport",
     "ReaderAutoscaler",
     "ReaderFleet",

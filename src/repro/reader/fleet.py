@@ -34,6 +34,16 @@ shape.  ``"inprocess"`` runs the same shards sequentially in the calling
 process — deterministic, dependency-free, what tests and ``num_readers=1``
 use.  ``"auto"`` picks between them, falling back to in-process if the
 platform cannot spawn processes.
+
+Production reader workers also *fail*: processes crash mid-shard and get
+respawned, and overloaded hosts straggle.  :class:`FleetFaults` injects
+both deterministically — a crashed shard is re-scanned from the start by
+its respawned worker (batch content unchanged; the lost partial scan is
+charged as wasted CPU), and a straggler shard's modeled CPU is scaled by
+its slowdown factor.  Fault injection runs on the in-process executor so
+every fault's effect on the modeled accounting is bit-reproducible —
+which is what lets the scenario simulator (``repro.sim``) replay chaos
+runs exactly.
 """
 
 from __future__ import annotations
@@ -41,7 +51,7 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_lib
 import time
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 
 from ..metrics.breakdown import QueueWaitBreakdown
@@ -53,12 +63,85 @@ from .costmodel import ReaderCostModel
 from .node import ReaderNode, ReaderReport
 from .shard import RowRangeShard, covering_files, plan_epoch
 
-__all__ = ["FleetReport", "ReaderFleet"]
+__all__ = ["FleetFaults", "FleetReport", "ReaderFleet"]
 
 _EXECUTORS = ("auto", "process", "inprocess")
 _DONE = "__shard_done__"
 _ERROR = "__shard_error__"
 _WORKER_JOIN_TIMEOUT = 30.0
+
+
+@dataclass(frozen=True)
+class FleetFaults:
+    """Deterministic fault injection for one fleet scan.
+
+    Shards are addressed by their *position* in the scan's global shard
+    sequence; positions are reduced modulo the scan's shard count, so a
+    seeded fault plan stays valid for any epoch geometry (a plan naming
+    shard 7 of a 3-shard scan crashes shard 1).
+
+    Attributes:
+        crashed_shards: shard positions whose worker crashes mid-scan
+            and is respawned.  The respawn re-scans the whole shard, so
+            batch content is unchanged; the crashed attempt's partial
+            work (``lost_fraction`` of the shard's CPU) is charged as
+            wasted CPU on top of the re-scan.
+        straggler_factors: ``{shard position: slowdown factor}`` — the
+            shard's modeled CPU is multiplied by the factor (> 1.0 is a
+            slow worker).  Positions colliding after the modulo keep
+            the largest factor.
+        lost_fraction: fraction of a crashed shard's CPU spent before
+            the crash (wasted, then re-done by the respawn).
+    """
+
+    crashed_shards: tuple[int, ...] = ()
+    straggler_factors: Mapping[int, float] = field(default_factory=dict)
+    lost_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if any(pos < 0 for pos in self.crashed_shards):
+            raise ValueError(
+                f"crashed shard positions must be non-negative, got "
+                f"{self.crashed_shards}"
+            )
+        bad = {
+            pos: f
+            for pos, f in self.straggler_factors.items()
+            if pos < 0 or not f >= 1.0
+        }
+        if bad:
+            raise ValueError(
+                "straggler factors need non-negative positions and "
+                f"factors >= 1.0, got {bad}"
+            )
+        if not 0.0 <= self.lost_fraction <= 1.0:
+            raise ValueError(
+                f"lost_fraction must be in [0, 1], got {self.lost_fraction}"
+            )
+
+    def __bool__(self) -> bool:
+        """True when any fault is actually scheduled."""
+        return bool(self.crashed_shards) or bool(self.straggler_factors)
+
+    def resolved(self, num_shards: int) -> tuple[set[int], dict[int, float]]:
+        """Map positions onto a concrete scan's shard count.
+
+        Args:
+            num_shards: shards in the scan (must be positive for a
+                non-empty fault set).
+
+        Returns:
+            ``(crashed positions, {position: factor})`` with every
+            position in ``range(num_shards)``.
+        """
+        if num_shards <= 0:
+            return set(), {}
+        crashed = {pos % num_shards for pos in self.crashed_shards}
+        factors: dict[int, float] = {}
+        for pos, factor in sorted(self.straggler_factors.items()):
+            key = pos % num_shards
+            factors[key] = max(factors.get(key, 1.0), factor)
+        return crashed, factors
 
 
 @dataclass
@@ -70,6 +153,12 @@ class FleetReport:
     executor_used: str = "inprocess"
     num_shards: int = 0
     wall_seconds: float = 0.0  # measured end-to-end run() time
+    #: worker crashes injected (each shard re-scanned by a respawn)
+    crashes: int = 0
+    #: shards that ran under an injected straggler slowdown
+    straggler_shards: int = 0
+    #: modeled CPU seconds lost to crashed attempts (re-done by respawns)
+    wasted_cpu_seconds: float = 0.0
 
     @property
     def merged(self) -> ReaderReport:
@@ -125,6 +214,9 @@ class FleetReport:
         self.queue.merge(other.queue)
         self.num_shards += other.num_shards
         self.wall_seconds += other.wall_seconds
+        self.crashes += other.crashes
+        self.straggler_shards += other.straggler_shards
+        self.wasted_cpu_seconds += other.wasted_cpu_seconds
 
 
 def _fleet_worker(
@@ -168,6 +260,7 @@ class ReaderFleet:
         cost_model: ReaderCostModel | None = None,
         prefetch_depth: int = 2,
         executor: str = "auto",
+        faults: FleetFaults | None = None,
     ):
         if num_readers <= 0:
             raise ValueError(
@@ -182,11 +275,18 @@ class ReaderFleet:
             raise ValueError(
                 f"executor must be one of {_EXECUTORS}, got {executor!r}"
             )
+        if faults and executor == "process":
+            raise ValueError(
+                "fault injection needs the deterministic in-process "
+                "executor (crash/straggler effects must be "
+                "bit-reproducible); use executor='inprocess' or 'auto'"
+            )
         self.num_readers = num_readers
         self.config = config
         self.cost_model = cost_model or ReaderCostModel()
         self.prefetch_depth = prefetch_depth
         self.executor = executor
+        self.faults = faults
         self.report = FleetReport()
 
     # -- public API --------------------------------------------------------
@@ -279,6 +379,11 @@ class ReaderFleet:
         executor = self.executor
         if executor == "auto":
             executor = "process" if total_shards > 1 else "inprocess"
+        if self.faults:
+            # Injected faults perturb the modeled accounting and must be
+            # bit-reproducible, so a faulted scan always runs in-process
+            # (__init__ already rejects an explicit "process" request).
+            executor = "inprocess"
         try:
             if executor == "process":
                 emitted = 0
@@ -333,12 +438,39 @@ class ReaderFleet:
     ) -> Iterator[Batch]:
         if self.report.executor_used != "inprocess-fallback":
             self.report.executor_used = "inprocess"
-        for _, blobs, local_start, local_stop in sources:
+        if self.faults:
+            crashed, factors = self.faults.resolved(self.report.num_shards)
+        else:
+            crashed, factors = set(), {}
+        for position, (_, blobs, local_start, local_stop) in enumerate(
+            sources
+        ):
             readers = [DwrfReader(blob, schema) for blob in blobs]
             node = ReaderNode(self.config, self.cost_model)
             yield from node.run(
                 readers, row_start=local_start, row_stop=local_stop
             )
+            cpu = node.report.cpu
+            if position in factors:
+                # Straggler: the shard's worker ran `factor` times
+                # slower — same batches, scaled modeled CPU.
+                factor = factors[position]
+                cpu.fill *= factor
+                cpu.convert *= factor
+                cpu.process *= factor
+                self.report.straggler_shards += 1
+            if position in crashed:
+                # Crash/respawn: the first attempt died after
+                # `lost_fraction` of the scan; the respawn re-scanned
+                # the whole shard (the batches just yielded), so the
+                # lost partial work is charged on top.
+                wasted = self.faults.lost_fraction * cpu.total
+                scale = 1.0 + self.faults.lost_fraction
+                cpu.fill *= scale
+                cpu.convert *= scale
+                cpu.process *= scale
+                self.report.crashes += 1
+                self.report.wasted_cpu_seconds += wasted
             self.report.workers.append(node.report)
 
     def _iter_multiprocess(

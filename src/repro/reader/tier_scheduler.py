@@ -48,6 +48,22 @@ Jobs whose tables land lazily (rolling-window retention) register a
 scheduled epochs — plus a declared ``partition_rows`` stream that
 admission validates their epoch plans against.
 
+Production tiers also *churn*: jobs are preempted and re-admitted
+mid-run, new jobs arrive while others train, and leased workers crash
+or straggle.  The tier therefore exposes its scheduling loop in two
+shapes — :meth:`SharedReaderTier.run` (rounds to completion, the
+classic closed loop) is just :meth:`~SharedReaderTier.start` /
+:meth:`~SharedReaderTier.step` / :meth:`~SharedReaderTier.finish`, and
+a driver holding the open loop (the scenario simulator in
+``repro.sim``) may, between steps, :meth:`~SharedReaderTier.preempt` a
+job (its name frees up for re-registration with its remaining epochs)
+or :meth:`~SharedReaderTier.register` a new one.  A job admitted
+mid-run — including a re-admitted preempted job — enters with strict
+next-round priority (it is treated as starved), so the one-round
+starvation bound survives churn.  A ``fault_injector`` hook supplies
+per-(round, job) :class:`~repro.reader.fleet.FleetFaults` so worker
+crashes and stragglers hit the leased fleets deterministically.
+
 Every round's allocation, per-job modeled overlap, and the tier-level
 aggregate land in a :class:`~repro.metrics.tier.TierReport`.
 """
@@ -63,7 +79,7 @@ from ..storage.hive import HiveTable
 from .autoscale import ReaderAutoscaler
 from .batch import Batch
 from .config import DataLoaderConfig
-from .fleet import FleetReport, ReaderFleet
+from .fleet import FleetFaults, FleetReport, ReaderFleet
 
 __all__ = ["allocate_workers", "TierJob", "SharedReaderTier"]
 
@@ -260,6 +276,9 @@ class SharedReaderTier:
         autoscale: bool = False,
         target_stall: float = 0.10,
         max_readers: int = 32,
+        fault_injector: (
+            Callable[[int, str, int], FleetFaults | None] | None
+        ) = None,
     ):
         """Configure the shared pool.
 
@@ -272,6 +291,13 @@ class SharedReaderTier:
             target_stall: the tier autoscaler's target band for the
                 *aggregate* reader-stall fraction.
             max_readers: the tier autoscaler's upper width bound.
+            fault_injector: optional hook called as
+                ``fault_injector(round_index, job_name, epoch)``
+                (``epoch`` being the job's position in its registered
+                plan) before each leased scan; a returned
+                :class:`~repro.reader.fleet.FleetFaults` crashes or
+                slows that job's workers for the round (``None`` = no
+                faults).
 
         Raises:
             ValueError: on a non-positive width, unknown policy, or —
@@ -295,21 +321,35 @@ class SharedReaderTier:
         self.autoscale = autoscale
         self.target_stall = target_stall
         self.max_readers = max_readers
+        self.fault_injector = fault_injector
         #: merged per-job FleetReports, populated by :meth:`run`
         self.job_fleets: dict[str, FleetReport] = {}
         self.report: TierReport | None = None
         self._jobs: dict[str, TierJob] = {}
-        self._ran = False
+        self._started = False
+        self._finished = False
+        self._autoscaler: ReaderAutoscaler | None = None
+        self._width = num_readers
+        self._progress: dict[str, int] = {}
+        self._demand: dict[str, float] = {}
+        self._starved: set[str] = set()
+        self._rounds: list[TierRound] = []
+        self._cursor = 0
+        #: epochs each preempted job had completed when it was removed,
+        #: keyed by job name (re-registration does not clear the entry)
+        self.preempted: dict[str, int] = {}
 
     # -- registration / admission ------------------------------------------
 
     def register(self, job: TierJob) -> None:
-        """Admit one job to the tier.
+        """Admit one job to the tier — before the run or mid-run.
 
         Admission is checked up front so a bad job fails at
         registration, not mid-run:
 
-        * the name must be unique and non-empty;
+        * the name must be unique among *currently registered* jobs and
+          non-empty (a preempted job's name is free again, which is how
+          a resumed job re-registers with its remaining epochs);
         * the scheduling weight must be positive;
         * the job set must stay schedulable without starving anyone for
           more than one round (at most ``2 * num_readers`` jobs);
@@ -318,11 +358,17 @@ class SharedReaderTier:
           in the declared ``partition_rows`` stream;
         * every epoch must fill at least one training batch.
 
+        A job admitted while the tier is mid-run (after
+        :meth:`start`) enters with strict next-round priority — it is
+        treated as starved, so the allocator serves it before any
+        non-starved job and the one-round starvation bound holds from
+        its admission round.
+
         Raises:
             ValueError: if any admission check fails.
-            RuntimeError: if the tier already ran.
+            RuntimeError: if the tier already finished.
         """
-        if self._ran:
+        if self._finished:
             raise RuntimeError(
                 "tier already ran; build a new SharedReaderTier to "
                 "schedule more jobs"
@@ -381,6 +427,30 @@ class SharedReaderTier:
                     f"all below batch {job.config.batch_size}"
                 )
         self._jobs[job.name] = job
+        if self._started:
+            # Mid-run admission: the newcomer gets strict next-round
+            # priority so it is never starved past one round even when
+            # it arrives into a contended pool.  The boost only applies
+            # while the priority set still fits the pool — otherwise a
+            # newcomer could crowd a genuinely-skipped job out of the
+            # width-bounded starved set and starve it a second round.
+            # An unboosted newcomer still meets the one-round bound: if
+            # its first round skips it, it joins the starved set and is
+            # served the round after.
+            self._progress[job.name] = 0
+            self.job_fleets.setdefault(job.name, FleetReport())
+            self._demand.pop(job.name, None)
+            if len(self._starved) < self._width:
+                self._starved.add(job.name)
+            if self._autoscaler is not None:
+                # Keep the autoscaler's fairness floor consistent with
+                # the grown job set: the pool must stay wide enough to
+                # serve every registered job one worker within two
+                # rounds.
+                self._autoscaler.min_readers = max(
+                    self._autoscaler.min_readers,
+                    math.ceil(len(self._jobs) / 2),
+                )
 
     @property
     def jobs(self) -> list[str]:
@@ -392,6 +462,10 @@ class SharedReaderTier:
     def run(self) -> TierReport:
         """Schedule rounds until every job's epoch plan is exhausted.
 
+        The closed-loop shape: :meth:`start`, :meth:`step` until no job
+        has epochs left, :meth:`finish`.  Drivers that need to preempt
+        or admit jobs mid-run call those three directly.
+
         Returns:
             The run's :class:`~repro.metrics.tier.TierReport` (also left
             in :attr:`report`).
@@ -400,15 +474,26 @@ class SharedReaderTier:
             RuntimeError: if the tier already ran.
             ValueError: if no jobs are registered.
         """
-        if self._ran:
+        self.start()
+        while self.step():
+            pass
+        return self.finish()
+
+    def start(self) -> None:
+        """Open the scheduling loop: validate and initialize run state.
+
+        Raises:
+            RuntimeError: if the tier already started or ran.
+            ValueError: if no jobs are registered.
+        """
+        if self._started:
             raise RuntimeError(
                 "tier already ran; build a new SharedReaderTier to rerun"
             )
         if not self._jobs:
             raise ValueError("no jobs registered")
-        self._ran = True
-
-        autoscaler = (
+        self._started = True
+        self._autoscaler = (
             ReaderAutoscaler(
                 self.num_readers,
                 target_stall=self.target_stall,
@@ -421,60 +506,154 @@ class SharedReaderTier:
             if self.autoscale
             else None
         )
-        width = autoscaler.num_readers if autoscaler else self.num_readers
-
+        self._width = (
+            self._autoscaler.num_readers
+            if self._autoscaler
+            else self.num_readers
+        )
         self.job_fleets = {name: FleetReport() for name in self._jobs}
-        progress = {name: 0 for name in self._jobs}
-        demand: dict[str, float] = {}
-        starved: set[str] = set()
-        rounds: list[TierRound] = []
-        cursor = 0
+        self._progress = {name: 0 for name in self._jobs}
+        self._demand = {}
+        self._starved = set()
+        self._rounds = []
+        self._cursor = 0
 
-        while True:
-            active = [
-                job
-                for name, job in self._jobs.items()
-                if progress[name] < len(job.epochs)
-            ]
-            if not active:
-                break
-            alloc = allocate_workers(
-                width,
-                [job.name for job in active],
-                starved=starved,
-                demand=demand,
-                weights={job.name: job.weight for job in active},
-                policy=self.policy,
-                cursor=cursor,
-            )
-            cursor += 1
-            stats = []
-            for job in active:
-                workers = alloc[job.name]
-                if workers == 0:
-                    continue
-                stats.append(
-                    self._run_job_epoch(job, progress[job.name], workers)
-                )
-                progress[job.name] += 1
-                demand[job.name] = stats[-1].reader_cpu_seconds
-            starved = {name for name, w in alloc.items() if w == 0}
-            rnd = TierRound(
-                index=len(rounds),
-                width=width,
-                stats=stats,
-                skipped=sorted(starved),
-            )
-            rounds.append(rnd)
-            if autoscaler is not None:
-                width = autoscaler.observe(rnd.aggregate, epoch=rnd.index)
+    def step(self) -> bool:
+        """Run one scheduling round.
 
+        Returns:
+            ``True`` if a round ran; ``False`` when no registered job
+            has epochs remaining (nothing is recorded in that case, so
+            a driver may still :meth:`register` more work and step
+            again).
+
+        Raises:
+            RuntimeError: if called before :meth:`start` or after
+                :meth:`finish`.
+        """
+        if not self._started or self._finished:
+            raise RuntimeError(
+                "step() needs an open scheduling loop: call start() "
+                "first (and not after finish())"
+            )
+        active = [
+            job
+            for name, job in self._jobs.items()
+            if self._progress[name] < len(job.epochs)
+        ]
+        if not active:
+            return False
+        alloc = allocate_workers(
+            self._width,
+            [job.name for job in active],
+            starved=self._starved,
+            demand=self._demand,
+            weights={job.name: job.weight for job in active},
+            policy=self.policy,
+            cursor=self._cursor,
+        )
+        self._cursor += 1
+        stats = []
+        for job in active:
+            workers = alloc[job.name]
+            if workers == 0:
+                continue
+            stats.append(
+                self._run_job_epoch(job, self._progress[job.name], workers)
+            )
+            self._progress[job.name] += 1
+            self._demand[job.name] = stats[-1].reader_cpu_seconds
+        self._starved = {name for name, w in alloc.items() if w == 0}
+        rnd = TierRound(
+            index=len(self._rounds),
+            width=self._width,
+            stats=stats,
+            skipped=sorted(self._starved),
+        )
+        self._rounds.append(rnd)
+        if self._autoscaler is not None:
+            self._width = self._autoscaler.observe(
+                rnd.aggregate, epoch=rnd.index
+            )
+        return True
+
+    def finish(self) -> TierReport:
+        """Close the loop and build the run's report.
+
+        Raises:
+            RuntimeError: if called before :meth:`start` or twice.
+        """
+        if not self._started or self._finished:
+            raise RuntimeError(
+                "finish() needs an open scheduling loop: call start() "
+                "first (and finish() only once)"
+            )
+        self._finished = True
         self.report = TierReport(
             policy=self.policy,
-            rounds=rounds,
-            scaling=autoscaler.trace if autoscaler is not None else None,
+            rounds=self._rounds,
+            scaling=(
+                self._autoscaler.trace
+                if self._autoscaler is not None
+                else None
+            ),
         )
         return self.report
+
+    @property
+    def round_index(self) -> int:
+        """Rounds completed so far — the index the next round will get."""
+        return len(self._rounds)
+
+    def epochs_completed(self, name: str) -> int:
+        """Epochs the named registered job has finished so far.
+
+        Raises:
+            KeyError: if the job is not currently registered.
+        """
+        if name not in self._jobs:
+            raise KeyError(
+                f"no registered job named {name!r}; registered: "
+                f"{list(self._jobs)}"
+            )
+        return self._progress.get(name, 0)
+
+    def preempt(self, name: str) -> int:
+        """Remove a registered job mid-run; its name frees up again.
+
+        The job simply stops being scheduled — its merged fleet
+        measurements stay in :attr:`job_fleets` (a later
+        re-registration under the same name keeps merging into them)
+        and its completed rounds stay in the report.  The number of
+        epochs it completed is recorded in :attr:`preempted` and
+        returned, which is what a checkpoint/resume driver needs to
+        rebuild the job's remaining epoch plan.
+
+        Args:
+            name: the registered job to remove.
+
+        Returns:
+            Epochs the job completed before preemption.
+
+        Raises:
+            KeyError: if no such job is registered.
+            RuntimeError: if the tier already finished.
+        """
+        if self._finished:
+            raise RuntimeError(
+                "tier already ran; nothing left to preempt"
+            )
+        if name not in self._jobs:
+            raise KeyError(
+                f"cannot preempt unknown job {name!r}; registered: "
+                f"{list(self._jobs)}"
+            )
+        del self._jobs[name]
+        done = self._progress.pop(name, 0)
+        self._demand.pop(name, None)
+        self._starved.discard(name)
+        self.preempted[name] = done
+        return done
 
     def _run_job_epoch(
         self, job: TierJob, epoch: int, workers: int
@@ -484,11 +663,17 @@ class SharedReaderTier:
             # The job's lifecycle hook: rolling-window retention lands
             # this epoch's partitions and ages out the expired ones.
             job.prepare(epoch)
+        faults = (
+            self.fault_injector(len(self._rounds), job.name, epoch)
+            if self.fault_injector is not None
+            else None
+        )
         fleet = ReaderFleet(
             workers,
             job.config,
             prefetch_depth=job.prefetch_depth,
             executor=job.executor,
+            faults=faults,
         )
         source = fleet.iter_epoch(
             job.table, list(job.epochs[epoch]), max_batches=job.max_batches

@@ -1,0 +1,42 @@
+"""Deterministic fault-injection scenario simulator (chaos, replayable).
+
+The production reality the paper's tier lives in — reader workers
+crash, shards straggle, jobs preempt and resume, new jobs burst in —
+reproduced as *seeded, bit-replayable* scenarios over the real
+:class:`~repro.pipeline.session.Session` /
+:class:`~repro.reader.tier_scheduler.SharedReaderTier` stack:
+
+* :mod:`repro.sim.faults` — :class:`FaultPlan`: the misfortune
+  schedule (crashes, stragglers, preemptions, arrivals), hand-built or
+  drawn from a seed.
+* :mod:`repro.sim.runner` — :class:`ScenarioRunner`: executes a plan
+  over a live session, checkpointing preempted jobs into a
+  :class:`~repro.trainer.checkpoint.ModelStore` and resuming them
+  bit-identically.
+* :mod:`repro.sim.scenarios` — the named catalog behind the
+  ``repro simulate`` CLI subcommand.
+
+The load-bearing invariant: faults perturb only the modeled cost
+surface.  Batch content and model updates never depend on scheduling,
+so every job's stitched loss trajectory equals its clean run bit for
+bit, and replaying a seed reproduces the identical
+:class:`~repro.metrics.slo.SLOReport` and fault trace.
+"""
+
+from .faults import Arrival, CrashFault, FaultPlan, Preemption, StragglerFault
+from .runner import ScenarioResult, ScenarioRunner
+from .scenarios import SCENARIOS, Scenario, build_scenario, scenario_names
+
+__all__ = [
+    "Arrival",
+    "CrashFault",
+    "FaultPlan",
+    "Preemption",
+    "StragglerFault",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "SCENARIOS",
+    "Scenario",
+    "build_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,301 @@
+"""Seeded fault plans: what goes wrong, when, deterministically.
+
+A :class:`FaultPlan` is the full misfortune schedule for one scenario
+run — reader-worker crashes, straggling shards, job preemptions (with
+checkpoint/resume), and bursty mid-run job arrivals — keyed by the
+tier's *round* index, the only clock the scheduler has.  Plans are
+plain frozen data: build one by hand, draw one from
+:meth:`FaultPlan.seeded` (same seed, same plan, forever), or let
+hypothesis generate adversarial ones in the chaos test tier.
+
+The plan deliberately speaks rounds while a job's
+:class:`~repro.pipeline.spec.FaultSpec` speaks the job's own epochs:
+the scenario runner injects plan faults through the tier's round-level
+hook and falls back to any per-spec faults, so both surfaces compose.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..reader.fleet import FleetFaults
+
+__all__ = [
+    "CrashFault",
+    "StragglerFault",
+    "Preemption",
+    "Arrival",
+    "FaultPlan",
+]
+
+
+def _require_round(kind: str, value: int) -> None:
+    """Raise unless ``value`` is a valid (non-negative) round index."""
+    if value < 0:
+        raise ValueError(f"{kind}.round must be non-negative, got {value}")
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """One reader-worker crash: the shard's scan is redone.
+
+    Attributes:
+        round: tier round the crash lands in.
+        job: the job whose leased fleet takes the hit.
+        shard: shard position (modulo the epoch's shard count).
+        lost_fraction: fraction of the shard's work lost and redone.
+    """
+
+    round: int
+    job: str
+    shard: int = 0
+    lost_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        _require_round("CrashFault", self.round)
+        if self.shard < 0:
+            raise ValueError(
+                f"CrashFault.shard must be non-negative, got {self.shard}"
+            )
+        if not 0.0 <= self.lost_fraction <= 1.0:
+            raise ValueError(
+                "CrashFault.lost_fraction must be in [0, 1], got "
+                f"{self.lost_fraction}"
+            )
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """One straggling shard: its scan costs ``factor``x the CPU.
+
+    Attributes:
+        round: tier round the slowdown lands in.
+        job: the job whose leased fleet takes the hit.
+        shard: shard position (modulo the epoch's shard count).
+        factor: CPU slowdown factor, >= 1.0.
+    """
+
+    round: int
+    job: str
+    shard: int = 0
+    factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        _require_round("StragglerFault", self.round)
+        if self.shard < 0:
+            raise ValueError(
+                "StragglerFault.shard must be non-negative, got "
+                f"{self.shard}"
+            )
+        if not self.factor >= 1.0:
+            raise ValueError(
+                f"StragglerFault.factor must be >= 1.0, got {self.factor}"
+            )
+
+
+@dataclass(frozen=True)
+class Preemption:
+    """One job preemption: checkpoint, deschedule, resume later.
+
+    Attributes:
+        round: tier round *before* which the job is preempted.
+        job: the job to preempt.
+        resume_after: full rounds the job stays descheduled before it
+            is re-admitted (resumed from its checkpoint).
+    """
+
+    round: int
+    job: str
+    resume_after: int = 1
+
+    def __post_init__(self) -> None:
+        _require_round("Preemption", self.round)
+        if self.resume_after < 1:
+            raise ValueError(
+                "Preemption.resume_after must be >= 1, got "
+                f"{self.resume_after}"
+            )
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One bursty mid-run job arrival.
+
+    Attributes:
+        round: tier round *before* which the job is admitted.
+        name: the arriving job's report name.
+        spec: the arriving job's :class:`~repro.pipeline.spec.JobSpec`.
+    """
+
+    round: int
+    name: str
+    spec: object
+
+    def __post_init__(self) -> None:
+        _require_round("Arrival", self.round)
+        if not self.name:
+            raise ValueError("Arrival.name must be non-empty")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full, deterministic misfortune schedule for one scenario.
+
+    Attributes:
+        crashes: reader-worker crashes, any order.
+        stragglers: straggling shards, any order.
+        preemptions: job preemptions (at most one per job per round).
+        arrivals: bursty job arrivals (names must be unique).
+        seed: the seed the plan was drawn from (bookkeeping; ``None``
+            for hand-built plans).
+    """
+
+    crashes: tuple[CrashFault, ...] = ()
+    stragglers: tuple[StragglerFault, ...] = ()
+    preemptions: tuple[Preemption, ...] = ()
+    arrivals: tuple[Arrival, ...] = ()
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for p in self.preemptions:
+            key = (p.round, p.job)
+            if key in seen:
+                raise ValueError(
+                    f"duplicate preemption of job {p.job!r} at round "
+                    f"{p.round}"
+                )
+            seen.add(key)
+        names = [a.name for a in self.arrivals]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate arrival names: {names}")
+
+    def fleet_faults(self, round_index: int, job: str) -> FleetFaults | None:
+        """The reader faults hitting one job's fleet in one round.
+
+        Crashes and stragglers for the same (round, job) merge into one
+        :class:`~repro.reader.fleet.FleetFaults`; when several crashes
+        name the round the largest ``lost_fraction`` wins (a worst-case
+        merge, and deterministic regardless of plan order).
+
+        Returns:
+            The merged faults, or ``None`` when the round runs clean.
+        """
+        crashed = sorted(
+            c.shard
+            for c in self.crashes
+            if c.round == round_index and c.job == job
+        )
+        lost = [
+            c.lost_fraction
+            for c in self.crashes
+            if c.round == round_index and c.job == job
+        ]
+        factors: dict[int, float] = {}
+        for s in self.stragglers:
+            if s.round == round_index and s.job == job:
+                factors[s.shard] = max(
+                    factors.get(s.shard, 1.0), s.factor
+                )
+        if not crashed and not factors:
+            return None
+        return FleetFaults(
+            crashed_shards=tuple(crashed),
+            straggler_factors=factors,
+            lost_fraction=max(lost) if lost else 0.5,
+        )
+
+    def preemptions_at(self, round_index: int) -> list[Preemption]:
+        """Preemptions scheduled before the given round, job-sorted."""
+        return sorted(
+            (p for p in self.preemptions if p.round == round_index),
+            key=lambda p: p.job,
+        )
+
+    def arrivals_at(self, round_index: int) -> list[Arrival]:
+        """Arrivals scheduled before the given round, name-sorted."""
+        return sorted(
+            (a for a in self.arrivals if a.round == round_index),
+            key=lambda a: a.name,
+        )
+
+    @property
+    def horizon(self) -> int:
+        """The last round any scheduled event names (-1 when empty)."""
+        rounds = (
+            [c.round for c in self.crashes]
+            + [s.round for s in self.stragglers]
+            + [p.round for p in self.preemptions]
+            + [a.round for a in self.arrivals]
+        )
+        return max(rounds, default=-1)
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        jobs: list[str],
+        rounds: int,
+        *,
+        crashes: int = 1,
+        stragglers: int = 1,
+        preemptions: int = 1,
+        max_shard: int = 8,
+    ) -> "FaultPlan":
+        """Draw a reproducible plan from a seed.
+
+        The same ``(seed, jobs, rounds, ...)`` always yields the same
+        plan — the chaos tests replay scenarios through this.
+
+        Args:
+            seed: the plan's seed.
+            jobs: job names eligible for faults.
+            rounds: rounds to spread events over (events land in
+                ``[0, rounds)``; preemptions in ``[1, rounds)`` so a
+                preempted job always has at least one epoch done).
+            crashes: crash events to draw.
+            stragglers: straggler events to draw.
+            preemptions: preemption events to draw (capped at one per
+                (round, job) pair).
+            max_shard: shard positions are drawn from ``[0, max_shard)``.
+
+        Raises:
+            ValueError: on an empty job list or non-positive rounds.
+        """
+        if not jobs:
+            raise ValueError("FaultPlan.seeded needs at least one job")
+        if rounds <= 0:
+            raise ValueError(f"rounds must be positive, got {rounds}")
+        rng = random.Random(seed)
+        crash_events = tuple(
+            CrashFault(
+                round=rng.randrange(rounds),
+                job=rng.choice(jobs),
+                shard=rng.randrange(max_shard),
+                lost_fraction=round(rng.uniform(0.1, 0.9), 3),
+            )
+            for _ in range(crashes)
+        )
+        straggler_events = tuple(
+            StragglerFault(
+                round=rng.randrange(rounds),
+                job=rng.choice(jobs),
+                shard=rng.randrange(max_shard),
+                factor=round(rng.uniform(1.5, 4.0), 3),
+            )
+            for _ in range(stragglers)
+        )
+        preempt_events: dict[tuple[int, str], Preemption] = {}
+        for _ in range(preemptions):
+            rnd = rng.randrange(1, max(2, rounds))
+            job = rng.choice(jobs)
+            preempt_events[(rnd, job)] = Preemption(
+                round=rnd, job=job, resume_after=rng.randrange(1, 3)
+            )
+        return cls(
+            crashes=crash_events,
+            stragglers=straggler_events,
+            preemptions=tuple(preempt_events.values()),
+            seed=seed,
+        )

@@ -1,0 +1,239 @@
+"""The named scenario catalog behind ``repro simulate``.
+
+Each scenario is a self-contained, seeded chaos experiment: a small
+fleet of RM workload jobs (from :mod:`repro.datagen.workloads`), a
+:class:`~repro.sim.faults.FaultPlan`, and a pool width.  The catalog
+names the shapes the paper's production tier actually weathers:
+
+* ``crash-resume`` — one worker crash plus a job preemption that
+  checkpoints, sits out a round, and resumes (the CI chaos-smoke
+  scenario).
+* ``stragglers`` — slow shards dilating rounds without changing
+  batches.
+* ``churn`` — crashes, stragglers, a preemption, *and* a bursty
+  mid-run arrival at once (the acceptance-criteria scenario).
+* ``burst`` — a quiet tier hit by a wave of late arrivals.
+
+Every scenario is deterministic given its seed: replaying it must
+reproduce the identical fingerprint, and its stitched per-job losses
+must equal the clean baseline bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..datagen.workloads import rm1, rm2, rm3
+from ..pipeline.config import RecDToggles
+from ..pipeline.spec import DataSpec, JobSpec, ReaderSpec, TrainSpec
+from .faults import Arrival, CrashFault, FaultPlan, Preemption, StragglerFault
+from .runner import ScenarioRunner
+
+__all__ = ["Scenario", "SCENARIOS", "build_scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, fully specified chaos experiment.
+
+    Attributes:
+        name: catalog name (the CLI's ``--scenario`` argument).
+        description: one-line human summary.
+        jobs: ``(name, spec)`` pairs admitted up front.
+        plan: the misfortune schedule.
+        width: the shared pool's width.
+    """
+
+    name: str
+    description: str
+    jobs: tuple[tuple[str, JobSpec], ...]
+    plan: FaultPlan
+    width: int = 6
+
+    def runner(self) -> ScenarioRunner:
+        """A fresh :class:`~repro.sim.runner.ScenarioRunner` for this
+        scenario (fresh model store, fresh session)."""
+        return ScenarioRunner(
+            [spec for _, spec in self.jobs],
+            self.plan,
+            width=self.width,
+            names=[name for name, _ in self.jobs],
+        )
+
+
+def _job(
+    workload,
+    *,
+    seed: int,
+    epochs: int = 4,
+    sessions: int = 60,
+    recd: bool = False,
+) -> JobSpec:
+    """A small, fast job spec for simulator scenarios.
+
+    Simulator jobs always use the deterministic in-process executor —
+    fault injection requires it — and tiny tables, so whole scenario
+    sweeps stay test-tier fast.
+    """
+    return JobSpec(
+        data=DataSpec(
+            workload=workload,
+            toggles=RecDToggles.full() if recd else RecDToggles.baseline(),
+            num_sessions=sessions,
+            seed=seed,
+        ),
+        reader=ReaderSpec(num_readers=2, executor="inprocess"),
+        train=TrainSpec(
+            train_epochs=epochs, train_batches=2, batch_size=32
+        ),
+    )
+
+
+def _crash_resume(seed: int, scale: float) -> Scenario:
+    """One crash, one straggler, one preempt/resume — the smoke shape."""
+    jobs = (
+        ("alpha", _job(rm1(scale=scale), seed=seed + 1, epochs=4)),
+        ("beta", _job(rm2(scale=scale), seed=seed + 2, epochs=4, recd=True)),
+    )
+    plan = FaultPlan(
+        crashes=(CrashFault(round=1, job="alpha", shard=0),),
+        stragglers=(
+            StragglerFault(round=2, job="beta", shard=1, factor=3.0),
+        ),
+        preemptions=(Preemption(round=2, job="alpha", resume_after=1),),
+        seed=seed,
+    )
+    return Scenario(
+        name="crash-resume",
+        description=(
+            "worker crash + straggler + one preemption that checkpoints "
+            "and resumes bit-identically"
+        ),
+        jobs=jobs,
+        plan=plan,
+    )
+
+
+def _stragglers(seed: int, scale: float) -> Scenario:
+    """Slow shards only: wall dilates, batches never change."""
+    jobs = (
+        ("alpha", _job(rm1(scale=scale), seed=seed + 1)),
+        ("beta", _job(rm2(scale=scale), seed=seed + 2)),
+        ("gamma", _job(rm3(scale=scale), seed=seed + 3, recd=True)),
+    )
+    plan = FaultPlan(
+        stragglers=(
+            StragglerFault(round=0, job="alpha", shard=0, factor=2.0),
+            StragglerFault(round=1, job="beta", shard=1, factor=4.0),
+            StragglerFault(round=2, job="gamma", shard=0, factor=2.5),
+        ),
+        seed=seed,
+    )
+    return Scenario(
+        name="stragglers",
+        description="straggling shards dilate rounds; losses untouched",
+        jobs=jobs,
+        plan=plan,
+    )
+
+
+def _churn(seed: int, scale: float) -> Scenario:
+    """Everything at once — the acceptance-criteria scenario."""
+    jobs = (
+        ("alpha", _job(rm1(scale=scale), seed=seed + 1, epochs=5)),
+        ("beta", _job(rm2(scale=scale), seed=seed + 2, epochs=4, recd=True)),
+    )
+    plan = FaultPlan(
+        crashes=(
+            CrashFault(round=0, job="beta", shard=1, lost_fraction=0.7),
+            CrashFault(round=3, job="alpha", shard=0),
+        ),
+        stragglers=(
+            StragglerFault(round=1, job="alpha", shard=2, factor=2.5),
+        ),
+        preemptions=(Preemption(round=2, job="alpha", resume_after=2),),
+        arrivals=(
+            Arrival(
+                round=1,
+                name="late",
+                spec=_job(rm3(scale=scale), seed=seed + 9, epochs=3),
+            ),
+        ),
+        seed=seed,
+    )
+    return Scenario(
+        name="churn",
+        description=(
+            "crashes + straggler + preempt/resume + a bursty mid-run "
+            "arrival, all in one run"
+        ),
+        jobs=jobs,
+        plan=plan,
+    )
+
+
+def _burst(seed: int, scale: float) -> Scenario:
+    """A quiet tier hit by a wave of arrivals."""
+    jobs = (("alpha", _job(rm1(scale=scale), seed=seed + 1, epochs=6)),)
+    plan = FaultPlan(
+        arrivals=(
+            Arrival(
+                round=1,
+                name="burst0",
+                spec=_job(rm2(scale=scale), seed=seed + 4, epochs=3),
+            ),
+            Arrival(
+                round=1,
+                name="burst1",
+                spec=_job(rm3(scale=scale), seed=seed + 5, epochs=3),
+            ),
+            Arrival(
+                round=2,
+                name="burst2",
+                spec=_job(
+                    rm2(scale=scale), seed=seed + 6, epochs=2, recd=True
+                ),
+            ),
+        ),
+        seed=seed,
+    )
+    return Scenario(
+        name="burst",
+        description="bursty arrivals pile onto a quiet tier mid-run",
+        jobs=jobs,
+        plan=plan,
+    )
+
+
+#: catalog: scenario name -> factory(seed, scale)
+SCENARIOS = {
+    "crash-resume": _crash_resume,
+    "stragglers": _stragglers,
+    "churn": _churn,
+    "burst": _burst,
+}
+
+
+def scenario_names() -> list[str]:
+    """The catalog's scenario names, sorted."""
+    return sorted(SCENARIOS)
+
+
+def build_scenario(
+    name: str, *, seed: int = 0, scale: float = 0.25
+) -> Scenario:
+    """Instantiate a named scenario from the catalog.
+
+    Args:
+        name: a name from :func:`scenario_names`.
+        seed: the scenario's seed (jobs and plan both derive from it).
+        scale: workload scale factor (smaller = faster).
+
+    Raises:
+        KeyError: for an unknown scenario name.
+    """
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        )
+    return SCENARIOS[name](seed, scale)

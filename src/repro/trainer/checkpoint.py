@@ -49,30 +49,63 @@ def save_model(model: DLRM) -> bytes:
 
 
 def load_model(model: DLRM, blob: bytes) -> None:
-    """Restore state in place.  The model must have the same architecture
-    (shapes are validated array by array)."""
-    with np.load(io.BytesIO(blob)) as data:
+    """Restore state in place.
+
+    The model must have the same architecture: every problem —
+    missing keys, extra keys, and shape mismatches — is collected
+    before raising, and each category is listed in sorted key order,
+    so the error message for a given (checkpoint, model) pair is
+    deterministic and tests can assert it exactly.
+
+    Raises:
+        ValueError: if the blob is not a checkpoint, carries an
+            unsupported format version, or does not match the model's
+            architecture key-for-key and shape-for-shape.
+    """
+    try:
+        data = np.load(io.BytesIO(blob))
+    except Exception as exc:
+        raise ValueError(
+            f"not a model checkpoint: unreadable blob ({exc})"
+        ) from exc
+    with data:
+        if _FORMAT_KEY not in data.files:
+            raise ValueError(
+                "not a model checkpoint: no format marker "
+                f"({_FORMAT_KEY!r})"
+            )
         version = int(data[_FORMAT_KEY][0])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported checkpoint version {version}")
         expected = model_state(model)
-        missing = set(expected) - set(data.files)
-        extra = set(data.files) - set(expected)
-        if missing or extra:
+        missing = sorted(set(expected) - set(data.files))
+        extra = sorted(set(data.files) - set(expected))
+        mismatched = [
+            (key, data[key].shape, expected[key].shape)
+            for key in sorted(set(expected) & set(data.files))
+            if key != _FORMAT_KEY and data[key].shape != expected[key].shape
+        ]
+        if missing or extra or mismatched:
+            parts = []
+            if missing:
+                parts.append("missing=" + ", ".join(missing))
+            if extra:
+                parts.append("extra=" + ", ".join(extra))
+            if mismatched:
+                parts.append(
+                    "shape="
+                    + ", ".join(
+                        f"{key} (checkpoint {ckpt} vs model {want})"
+                        for key, ckpt, want in mismatched
+                    )
+                )
             raise ValueError(
-                f"checkpoint/model mismatch: missing={sorted(missing)} "
-                f"extra={sorted(extra)}"
+                "checkpoint/model mismatch: " + "; ".join(parts)
             )
         for key, target in expected.items():
             if key == _FORMAT_KEY:
                 continue
-            src = data[key]
-            if src.shape != target.shape:
-                raise ValueError(
-                    f"shape mismatch for {key}: checkpoint {src.shape} vs "
-                    f"model {target.shape}"
-                )
-            target[...] = src
+            target[...] = data[key]
 
 
 class ModelStore:

@@ -1,0 +1,94 @@
+"""Unit tests for the SLO scoreboard (fast, synthetic inputs)."""
+
+import pytest
+
+from repro.metrics import JobSLO, SLOReport, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50.0) == 0.0
+
+    def test_nearest_rank(self):
+        values = [10.0, 20.0, 30.0, 40.0]
+        assert percentile(values, 0.0) == 10.0
+        assert percentile(values, 25.0) == 10.0
+        assert percentile(values, 50.0) == 20.0
+        assert percentile(values, 75.0) == 30.0
+        assert percentile(values, 99.0) == 40.0
+        assert percentile(values, 100.0) == 40.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError, match=r"q must be in \[0, 100\]"):
+            percentile([1.0], -1.0)
+        with pytest.raises(ValueError, match=r"q must be in \[0, 100\]"):
+            percentile([1.0], 100.5)
+
+
+def _job(name, wall, busy, *, starved=0, batches=4):
+    return JobSLO(
+        job=name,
+        admitted_round=0,
+        finished_round=3,
+        wall_seconds=wall,
+        busy_seconds=busy,
+        starved_rounds=starved,
+        epochs=2,
+        batches=batches,
+    )
+
+
+class TestJobSLO:
+    def test_queue_fraction(self):
+        assert _job("a", 10.0, 7.5).queue_fraction == pytest.approx(0.25)
+
+    def test_queue_fraction_zero_wall(self):
+        assert _job("a", 0.0, 0.0).queue_fraction == 0.0
+
+
+class TestSLOReport:
+    def _report(self):
+        return SLOReport(
+            jobs=[
+                _job("a", 10.0, 10.0, batches=8),
+                _job("b", 30.0, 20.0, starved=1, batches=4),
+                _job("c", 20.0, 20.0, batches=4),
+            ],
+            total_wall_seconds=40.0,
+            reader_cpu_seconds=100.0,
+            wasted_cpu_seconds=25.0,
+            crashes=2,
+            straggler_shards=1,
+            preemptions=1,
+        )
+
+    def test_wall_percentiles(self):
+        report = self._report()
+        assert report.p50_wall_seconds == 20.0
+        assert report.p99_wall_seconds == 30.0
+
+    def test_starvation_and_goodput(self):
+        report = self._report()
+        assert report.max_starved_rounds == 1
+        assert report.total_batches == 16
+        assert report.goodput_batches_per_second == pytest.approx(0.4)
+
+    def test_useful_cpu_fraction(self):
+        assert self._report().useful_cpu_fraction == pytest.approx(0.75)
+        assert SLOReport().useful_cpu_fraction == 1.0
+
+    def test_empty_report_defaults(self):
+        empty = SLOReport()
+        assert empty.p50_wall_seconds == 0.0
+        assert empty.max_starved_rounds == 0
+        assert empty.goodput_batches_per_second == 0.0
+
+    def test_as_dict_round_trips_equality(self):
+        assert self._report().as_dict() == self._report().as_dict()
+        d = self._report().as_dict()
+        assert d["crashes"] == 2
+        assert d["preemptions"] == 1
+        assert [j["job"] for j in d["jobs"]] == ["a", "b", "c"]

@@ -442,6 +442,31 @@ class TestSchedule:
         with pytest.raises(ValueError, match="no jobs"):
             SharedReaderTier(2).run()
 
+    def test_open_loop_equals_run(self):
+        """start/step/finish is exactly run(), decomposed."""
+        closed = self._tier(num_jobs=3, width=2).run()
+        tier = self._tier(num_jobs=3, width=2)
+        tier.start()
+        while tier.step():
+            pass
+        opened = tier.finish()
+        assert opened.as_rows() == closed.as_rows()
+
+    def test_open_loop_guards(self):
+        tier = self._tier(num_jobs=2, width=2)
+        with pytest.raises(RuntimeError, match="open scheduling loop"):
+            tier.step()
+        with pytest.raises(RuntimeError, match="open scheduling loop"):
+            tier.finish()
+        tier.start()
+        with pytest.raises(RuntimeError, match="already ran"):
+            tier.start()
+        tier.finish()
+        with pytest.raises(RuntimeError, match="open scheduling loop"):
+            tier.step()
+        with pytest.raises(RuntimeError, match="open scheduling loop"):
+            tier.finish()
+
     def test_autoscale_keeps_fairness_floor(self):
         """An autoscaled tier never shrinks below ceil(jobs / 2), so
         the one-round starvation bound survives pool resizing."""
@@ -453,3 +478,117 @@ class TestSchedule:
         assert all(w >= 2 for w in report.widths)
         for d in report.scaling.decisions:
             assert d.width_after >= 2
+
+
+class TestChurn:
+    """Preemption and re-admission: names free up, progress is
+    recorded, and a re-admitted job enters with strict next-round
+    priority — the one-round starvation bound survives churn."""
+
+    def _job(self, name: str, table) -> TierJob:
+        return TierJob(
+            name,
+            table,
+            _dl_config(),
+            epochs=[["p"], ["p"]],
+            max_batches=2,
+            executor="inprocess",
+        )
+
+    def _open_tier(self, names, width: int):
+        tier = SharedReaderTier(width, policy="round_robin")
+        table = _landed()
+        for name in names:
+            tier.register(self._job(name, table))
+        tier.start()
+        return tier, table
+
+    def test_preempt_frees_name_and_records_progress(self):
+        tier, table = self._open_tier(["a", "b"], width=2)
+        assert tier.step()
+        assert tier.epochs_completed("a") == 1
+        assert tier.preempt("a") == 1
+        assert tier.preempted == {"a": 1}
+        with pytest.raises(KeyError, match="no registered job named 'a'"):
+            tier.epochs_completed("a")
+        # The name is free again: a successor can take it mid-run.
+        tier.register(self._job("a", table))
+        assert tier.epochs_completed("a") == 0
+        while tier.step():
+            pass
+        report = tier.finish()
+        assert len(report.job_rounds("b")) == 2
+
+    def test_preempt_unknown_job_raises(self):
+        tier, _ = self._open_tier(["a"], width=2)
+        with pytest.raises(KeyError, match="cannot preempt unknown job"):
+            tier.preempt("ghost")
+        tier.finish()
+        with pytest.raises(RuntimeError, match="nothing left to preempt"):
+            tier.preempt("a")
+
+    def test_readmitted_job_gets_strict_next_round_priority(self):
+        """An oversubscribed pool: the re-admitted job must be among
+        the very next round's scheduled set, whatever the rotation."""
+        tier, table = self._open_tier(["a", "b", "c"], width=2)
+        assert tier.step()  # round 0: two scheduled, one skipped
+        tier.preempt("c")
+        tier.register(self._job("c", table))
+        idx = tier.round_index
+        assert tier.step()
+        report_round = tier._rounds[idx]
+        assert report_round.allocation["c"] >= 1
+        while tier.step():
+            pass
+        tier.finish()
+
+    def test_mid_run_admission_respects_the_cap(self):
+        tier, table = self._open_tier(["a", "b"], width=1)
+        assert tier.step()
+        with pytest.raises(ValueError, match="admission refused"):
+            tier.register(self._job("c", table))
+        # Preempting a job frees its admission slot for the newcomer.
+        tier.preempt("b")
+        tier.register(self._job("c", table))
+        while tier.step():
+            pass
+        report = tier.finish()
+        assert len(report.job_rounds("c")) == 2
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        width=st.integers(1, 3),
+        churn_events=st.integers(1, 3),
+    )
+    def test_churned_job_never_starves_two_rounds(
+        self, seed, width, churn_events
+    ):
+        """Any preempt/re-admit schedule keeps both invariants: round
+        allocations sum to the width, and no job — including every
+        re-admitted one — is skipped twice in a row."""
+        import random
+
+        rng = random.Random(seed)
+        names = [f"j{i}" for i in range(2 * width)]
+        tier = SharedReaderTier(width, policy="round_robin")
+        table = _landed()
+        for name in names:
+            tier.register(self._job(name, table))
+        tier.start()
+        remaining = churn_events
+        while True:
+            if remaining and tier.round_index >= 1 and rng.random() < 0.5:
+                victim = rng.choice(sorted(tier._jobs))
+                tier.preempt(victim)
+                tier.register(self._job(victim, table))
+                remaining -= 1
+            if not tier.step():
+                break
+        report = tier.finish()
+        for rnd in report.rounds:
+            assert sum(rnd.allocation.values()) == rnd.width
+        for name in report.jobs:
+            assert report.max_consecutive_skips(name) <= 1, (
+                f"{name} starved twice (seed {seed}, width {width})"
+            )

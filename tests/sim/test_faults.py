@@ -1,0 +1,166 @@
+"""Unit tests for the fault-plan data model (fast, tier-1)."""
+
+import pytest
+
+from repro.sim import (
+    Arrival,
+    CrashFault,
+    FaultPlan,
+    Preemption,
+    StragglerFault,
+)
+
+
+class TestEventValidation:
+    def test_negative_round_rejected(self):
+        with pytest.raises(ValueError, match="round must be non-negative"):
+            CrashFault(round=-1, job="a")
+        with pytest.raises(ValueError, match="round must be non-negative"):
+            StragglerFault(round=-2, job="a")
+        with pytest.raises(ValueError, match="round must be non-negative"):
+            Preemption(round=-1, job="a")
+        with pytest.raises(ValueError, match="round must be non-negative"):
+            Arrival(round=-1, name="a", spec=None)
+
+    def test_crash_bounds(self):
+        with pytest.raises(ValueError, match="shard must be non-negative"):
+            CrashFault(round=0, job="a", shard=-1)
+        with pytest.raises(ValueError, match="lost_fraction"):
+            CrashFault(round=0, job="a", lost_fraction=1.5)
+        with pytest.raises(ValueError, match="lost_fraction"):
+            CrashFault(round=0, job="a", lost_fraction=-0.1)
+
+    def test_straggler_bounds(self):
+        with pytest.raises(ValueError, match="shard must be non-negative"):
+            StragglerFault(round=0, job="a", shard=-1)
+        with pytest.raises(ValueError, match="factor must be >= 1.0"):
+            StragglerFault(round=0, job="a", factor=0.5)
+
+    def test_preemption_resume_after(self):
+        with pytest.raises(ValueError, match="resume_after must be >= 1"):
+            Preemption(round=1, job="a", resume_after=0)
+
+    def test_arrival_needs_name(self):
+        with pytest.raises(ValueError, match="name must be non-empty"):
+            Arrival(round=0, name="", spec=None)
+
+
+class TestPlanValidation:
+    def test_duplicate_preemption_rejected(self):
+        with pytest.raises(ValueError, match="duplicate preemption"):
+            FaultPlan(
+                preemptions=(
+                    Preemption(round=1, job="a"),
+                    Preemption(round=1, job="a", resume_after=2),
+                )
+            )
+
+    def test_same_job_different_rounds_ok(self):
+        plan = FaultPlan(
+            preemptions=(
+                Preemption(round=1, job="a"),
+                Preemption(round=3, job="a"),
+            )
+        )
+        assert len(plan.preemptions) == 2
+
+    def test_duplicate_arrival_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate arrival names"):
+            FaultPlan(
+                arrivals=(
+                    Arrival(round=0, name="x", spec=None),
+                    Arrival(round=2, name="x", spec=None),
+                )
+            )
+
+
+class TestFleetFaultMerge:
+    def test_clean_round_is_none(self):
+        plan = FaultPlan(crashes=(CrashFault(round=1, job="a"),))
+        assert plan.fleet_faults(0, "a") is None
+        assert plan.fleet_faults(1, "b") is None
+
+    def test_crash_and_straggler_merge(self):
+        plan = FaultPlan(
+            crashes=(
+                CrashFault(round=1, job="a", shard=3, lost_fraction=0.2),
+                CrashFault(round=1, job="a", shard=1, lost_fraction=0.6),
+            ),
+            stragglers=(
+                StragglerFault(round=1, job="a", shard=2, factor=2.0),
+                StragglerFault(round=1, job="a", shard=2, factor=3.0),
+            ),
+        )
+        faults = plan.fleet_faults(1, "a")
+        assert faults.crashed_shards == (1, 3)  # sorted
+        assert faults.straggler_factors == {2: 3.0}  # max factor wins
+        assert faults.lost_fraction == 0.6  # worst case wins
+
+    def test_straggler_only_uses_default_lost_fraction(self):
+        plan = FaultPlan(
+            stragglers=(StragglerFault(round=0, job="a", factor=2.0),)
+        )
+        assert plan.fleet_faults(0, "a").lost_fraction == 0.5
+
+
+class TestPlanQueries:
+    def test_events_at_round_are_name_sorted(self):
+        plan = FaultPlan(
+            preemptions=(
+                Preemption(round=2, job="zeta"),
+                Preemption(round=2, job="alpha"),
+                Preemption(round=3, job="beta"),
+            ),
+            arrivals=(
+                Arrival(round=1, name="y", spec=None),
+                Arrival(round=1, name="x", spec=None),
+            ),
+        )
+        assert [p.job for p in plan.preemptions_at(2)] == ["alpha", "zeta"]
+        assert plan.preemptions_at(0) == []
+        assert [a.name for a in plan.arrivals_at(1)] == ["x", "y"]
+
+    def test_horizon(self):
+        assert FaultPlan().horizon == -1
+        plan = FaultPlan(
+            crashes=(CrashFault(round=1, job="a"),),
+            arrivals=(Arrival(round=5, name="x", spec=None),),
+        )
+        assert plan.horizon == 5
+
+
+class TestSeeded:
+    def test_same_seed_same_plan(self):
+        a = FaultPlan.seeded(42, ["j0", "j1"], rounds=6)
+        b = FaultPlan.seeded(42, ["j0", "j1"], rounds=6)
+        assert a == b
+        assert a.seed == 42
+
+    def test_different_seed_different_plan(self):
+        plans = {
+            FaultPlan.seeded(s, ["j0", "j1"], rounds=8, crashes=2)
+            for s in range(8)
+        }
+        assert len(plans) > 1
+
+    def test_preemptions_never_at_round_zero(self):
+        for seed in range(20):
+            plan = FaultPlan.seeded(
+                seed, ["j0", "j1", "j2"], rounds=5, preemptions=3
+            )
+            assert all(p.round >= 1 for p in plan.preemptions)
+
+    def test_event_counts_and_bounds(self):
+        plan = FaultPlan.seeded(
+            7, ["a"], rounds=4, crashes=3, stragglers=2, max_shard=2
+        )
+        assert len(plan.crashes) == 3
+        assert len(plan.stragglers) == 2
+        assert all(0 <= c.round < 4 and c.shard < 2 for c in plan.crashes)
+        assert all(s.factor >= 1.5 for s in plan.stragglers)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="at least one job"):
+            FaultPlan.seeded(0, [], rounds=4)
+        with pytest.raises(ValueError, match="rounds must be positive"):
+            FaultPlan.seeded(0, ["a"], rounds=0)

@@ -1,0 +1,126 @@
+"""Scenario acceptance tests: bit-identity, replay, the catalog.
+
+The ``crash-resume`` scenario is the tier-1 acceptance criterion — a
+seeded run with a worker crash, a straggling shard, and a
+preempt/checkpoint/resume cycle whose stitched per-job losses must be
+**bit-identical** to an uninterrupted run, and whose replay must
+reproduce the identical fingerprint.  The full-catalog sweep is marked
+``chaos`` and runs in the opt-in tier.
+"""
+
+import pytest
+
+from repro.sim import (
+    FaultPlan,
+    Preemption,
+    ScenarioRunner,
+    build_scenario,
+    scenario_names,
+)
+from repro.sim.scenarios import _job
+from repro.datagen.workloads import rm1
+
+SEED = 3
+SCALE = 0.2
+
+
+@pytest.fixture(scope="module")
+def crash_resume():
+    """One crash-resume run, its clean baseline, and a seeded replay."""
+    scenario = build_scenario("crash-resume", seed=SEED, scale=SCALE)
+    runner = scenario.runner()
+    result = runner.run()
+    baseline = runner.baseline()
+    replay = scenario.runner().run()
+    return scenario, result, baseline, replay
+
+
+class TestCrashResumeAcceptance:
+    def test_losses_bit_identical_to_clean_run(self, crash_resume):
+        scenario, result, baseline, _ = crash_resume
+        assert sorted(result.losses) == sorted(baseline)
+        for name, spec in scenario.jobs:
+            expected_losses = spec.train.train_epochs * spec.train.train_batches
+            assert len(result.losses[name]) == expected_losses
+            # The criterion: float-for-float equality, not approx.
+            assert result.losses[name] == baseline[name]
+
+    def test_replay_reproduces_identical_fingerprint(self, crash_resume):
+        _, result, _, replay = crash_resume
+        assert replay.fingerprint() == result.fingerprint()
+
+    def test_trace_records_every_fault_kind(self, crash_resume):
+        _, result, _, _ = crash_resume
+        events = [ev["event"] for ev in result.trace]
+        assert "fleet_faults" in events
+        assert "preempt" in events
+        assert "resume" in events
+        preempt = next(ev for ev in result.trace if ev["event"] == "preempt")
+        resume = next(ev for ev in result.trace if ev["event"] == "resume")
+        assert preempt["job"] == resume["job"] == "alpha"
+        assert resume["start_epoch"] == preempt["epochs_done"] > 0
+        assert resume["round"] >= preempt["resume_round"]
+
+    def test_slo_counts_the_injected_faults(self, crash_resume):
+        _, result, _, _ = crash_resume
+        slo = result.slo
+        assert slo.crashes == 1
+        assert slo.straggler_shards == 1
+        assert slo.preemptions == 1
+        assert slo.wasted_cpu_seconds > 0.0
+        assert 0.0 < slo.useful_cpu_fraction < 1.0
+        assert {j.job for j in slo.jobs} == {"alpha", "beta"}
+        # The preempted job paid queue time while descheduled.
+        alpha = next(j for j in slo.jobs if j.job == "alpha")
+        assert alpha.queue_fraction > 0.0
+        assert slo.p99_wall_seconds >= slo.p50_wall_seconds > 0.0
+
+
+class TestCatalog:
+    def test_names_are_sorted_and_complete(self):
+        assert scenario_names() == ["burst", "churn", "crash-resume", "stragglers"]
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario 'nope'"):
+            build_scenario("nope")
+
+    def test_same_seed_same_scenario(self):
+        a = build_scenario("churn", seed=5)
+        b = build_scenario("churn", seed=5)
+        assert a.plan == b.plan
+        assert [name for name, _ in a.jobs] == [name for name, _ in b.jobs]
+
+
+class TestRunnerGuards:
+    def test_arrival_name_collision_rejected(self):
+        from repro.sim import Arrival
+
+        spec = _job(rm1(scale=0.1), seed=1, epochs=2, sessions=30)
+        plan = FaultPlan(arrivals=(Arrival(round=1, name="alpha", spec=spec),))
+        with pytest.raises(ValueError, match="collide with initial jobs"):
+            ScenarioRunner([spec], plan, width=2, names=["alpha"])
+
+    def test_preempting_unknown_job_is_ignored(self):
+        spec = _job(rm1(scale=0.1), seed=1, epochs=2, sessions=30)
+        plan = FaultPlan(preemptions=(Preemption(round=1, job="ghost"),))
+        runner = ScenarioRunner([spec], plan, width=2, names=["alpha"])
+        result = runner.run()
+        assert result.slo.preemptions == 0
+        assert len(result.losses["alpha"]) == 4
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("name", scenario_names())
+def test_catalog_sweep_bit_identity_and_replay(name):
+    """Every catalog scenario preserves bit-identity and replays."""
+    scenario = build_scenario(name, seed=11, scale=SCALE)
+    runner = scenario.runner()
+    result = runner.run()
+    baseline = runner.baseline()
+    for job, losses in result.losses.items():
+        assert losses == baseline[job], f"{name}: {job} diverged"
+    replay = build_scenario(name, seed=11, scale=SCALE).runner().run()
+    assert replay.fingerprint() == result.fingerprint()
+    # Fairness holds under every scenario's churn.
+    for job in result.tier.jobs:
+        assert result.tier.max_consecutive_skips(job) <= 1

@@ -84,6 +84,124 @@ class TestSerialization:
             load_model(model, buf.getvalue())
 
 
+class TestLoadModelErrors:
+    """load_model reports every problem, in sorted deterministic order."""
+
+    def test_truncated_blob(self):
+        model, _ = _model()
+        blob = save_model(model)
+        with pytest.raises(
+            ValueError, match="not a model checkpoint: unreadable blob"
+        ):
+            load_model(model, blob[:40])
+
+    def test_garbage_blob(self):
+        model, _ = _model()
+        with pytest.raises(
+            ValueError, match="not a model checkpoint: unreadable blob"
+        ):
+            load_model(model, b"these are not the bytes you seek")
+
+    def test_npz_without_format_marker(self):
+        import io
+
+        model, _ = _model()
+        buf = io.BytesIO()
+        np.savez_compressed(buf, something=np.zeros(3))
+        with pytest.raises(
+            ValueError,
+            match="not a model checkpoint: no format marker \\('__format__'\\)",
+        ):
+            load_model(model, buf.getvalue())
+
+    def test_version_mismatch_names_the_version(self):
+        import io
+
+        model, _ = _model()
+        state = model_state(model)
+        state["__format__"] = np.array([999])
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **state)
+        with pytest.raises(
+            ValueError, match="^unsupported checkpoint version 999$"
+        ):
+            load_model(model, buf.getvalue())
+
+    def test_mismatch_message_is_exact_and_sorted(self):
+        """Missing, extra, and shape problems in one deterministic line."""
+        import io
+
+        model, _ = _model()
+        state = model_state(model)
+        emb_key = sorted(k for k in state if k.startswith("emb/"))[0]
+        want_shape = state[emb_key].shape
+        del state["dense/1"]
+        del state["dense/0"]
+        state["zz_bogus"] = np.zeros(1)
+        state["aa_bogus"] = np.zeros(1)
+        state[emb_key] = np.zeros((3, 3))
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **state)
+        with pytest.raises(ValueError) as err:
+            load_model(model, buf.getvalue())
+        assert str(err.value) == (
+            "checkpoint/model mismatch: "
+            "missing=dense/0, dense/1; "
+            "extra=aa_bogus, zz_bogus; "
+            f"shape={emb_key} (checkpoint (3, 3) vs model {want_shape})"
+        )
+
+    def test_optimizer_mismatch_lists_missing_adagrad_keys(self):
+        model, _ = _model(optimizer="sgd")
+        blob = save_model(model)
+        other, _ = _model(optimizer="rowwise_adagrad")
+        wanted = sorted(
+            k for k in model_state(other) if k.startswith("adagrad/")
+        )
+        with pytest.raises(ValueError) as err:
+            load_model(other, blob)
+        assert str(err.value) == (
+            "checkpoint/model mismatch: missing=" + ", ".join(wanted)
+        )
+
+    def test_mismatched_table_capacity_reports_shapes(self):
+        small, _ = _model()
+        blob = save_model(small)
+        big_cfg_model, w = _model()
+        cfg = DLRMConfig(
+            embedding_dim=w.embedding_dim,
+            bottom_mlp=tuple(w.bottom_mlp) + (w.embedding_dim,),
+            top_mlp=tuple(w.top_mlp),
+            num_dense=len(w.schema.dense),
+            max_table_rows=100,  # half the capacity of the checkpoint
+            seed=1,
+        )
+        big = DLRM(list(w.schema.sparse), cfg, TrainerOptFlags.baseline())
+        with pytest.raises(
+            ValueError, match="checkpoint/model mismatch: shape="
+        ) as err:
+            load_model(big, blob)
+        assert "checkpoint (200," in str(err.value)
+        assert "vs model (100," in str(err.value)
+
+    def test_failed_load_leaves_model_untouched(self):
+        """The mismatch scan happens before any write-back."""
+        model, _ = _model()
+        before = {
+            k: v.copy() for k, v in model_state(model).items()
+        }
+        import io
+
+        state = model_state(model)
+        del state["dense/0"]
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **state)
+        with pytest.raises(ValueError, match="missing=dense/0"):
+            load_model(model, buf.getvalue())
+        for k, v in model_state(model).items():
+            np.testing.assert_array_equal(v, before[k])
+
+
 class TestModelStore:
     def test_versioning(self):
         fs = TectonicFS()
@@ -119,6 +237,37 @@ class TestModelStore:
         store.save("m", model)
         with pytest.raises(FileNotFoundError):
             store.load("m", model, version=7)
+
+    def test_snapshots_are_immutable(self):
+        """Saving to an existing name appends a version; the underlying
+        blob paths can never be overwritten in place."""
+        fs = TectonicFS()
+        store = ModelStore(fs)
+        model, _ = _model()
+        assert store.save("m", model) == 1
+        with pytest.raises(FileExistsError):
+            fs.write(store._path("m", 1), b"clobber")
+        assert store.save("m", model) == 2
+
+    def test_corrupt_stored_blob_is_reported(self):
+        fs = TectonicFS()
+        store = ModelStore(fs)
+        model, _ = _model()
+        store.save("m", model)
+        fs.write(store._path("m", 2), b"bit rot")
+        with pytest.raises(
+            ValueError, match="not a model checkpoint: unreadable blob"
+        ):
+            store.load("m", model)  # latest (2) is the corrupt one
+        assert store.load("m", model, version=1) == 1
+
+    def test_restore_into_mismatched_architecture(self):
+        store = ModelStore(TectonicFS())
+        model, _ = _model(optimizer="sgd")
+        store.save("m", model)
+        other, _ = _model(optimizer="rowwise_adagrad")
+        with pytest.raises(ValueError, match="missing=adagrad/"):
+            store.load("m", other)
 
     def test_prune_retention(self):
         fs = TectonicFS()
