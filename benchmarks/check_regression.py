@@ -1,118 +1,145 @@
 #!/usr/bin/env python
-"""Fail when reader-fleet scaling throughput regresses vs committed results.
+"""Store-backed regression gate: stored metrics vs committed baselines.
 
-Compares the freshly generated ``benchmarks/results/fleet_scaling.json``
-(written by ``pytest benchmarks/test_fleet_scaling.py``) against the copy
-committed to git (``git show HEAD:...``, or an explicit ``--baseline``
-file).  The compared numbers are *modeled* throughputs — deterministic
-functions of the code and generated data, not of machine load — so a
-drop means a real code regression, not noise.  Exits non-zero when any
-tracked metric drops more than ``--threshold`` (default 20%).
+Reads the results store (``benchmarks/results/store/runs.sqlite``,
+populated by ``repro experiments run`` and by the benchmark scripts) and
+compares every metric named in a committed baselines file against the
+latest stored value, with per-metric tolerances.  All compared numbers
+are *modeled* — deterministic functions of the code and generated data,
+not of machine load — so a miss means a real code regression, not noise.
 
 Usage::
 
-    python -m pytest benchmarks/test_fleet_scaling.py -q
-    python benchmarks/check_regression.py [--threshold 0.2]
-    python benchmarks/check_regression.py --baseline old.json --current new.json
+    python -m repro experiments run --profile smoke
+    python benchmarks/check_regression.py --profile smoke
+    python benchmarks/check_regression.py --profile paper \\
+        --summary "$GITHUB_STEP_SUMMARY"
+    python benchmarks/check_regression.py --profile smoke --update
+
+``--update`` regenerates the baselines file's values from the store
+(preserving any per-metric ``tolerance``/``direction`` overrides)
+instead of checking; commit the result to move the baseline.  Exits 1
+on any regression or missing metric, 2 on usage errors.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import pathlib
-import subprocess
 import sys
 
-RESULTS = pathlib.Path(__file__).parent / "results" / "fleet_scaling.json"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
-GIT_PATH = "benchmarks/results/fleet_scaling.json"
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.experiments import (  # noqa: E402
+    RunStore,
+    check_store,
+    load_baselines,
+    markdown_summary,
+    update_baselines,
+)
+from repro.experiments.store import DEFAULT_STORE_PATH  # noqa: E402
 
-def load_baseline(path: str | None) -> dict:
-    if path is not None:
-        return json.loads(pathlib.Path(path).read_text())
-    proc = subprocess.run(
-        ["git", "show", f"HEAD:{GIT_PATH}"],
-        cwd=REPO_ROOT,
-        capture_output=True,
-        text=True,
-    )
-    if proc.returncode != 0:
-        sys.exit(
-            f"error: no committed baseline at HEAD:{GIT_PATH} "
-            f"({proc.stderr.strip()}); pass --baseline explicitly"
-        )
-    return json.loads(proc.stdout)
-
-
-def tracked_metrics(doc: dict) -> dict[str, float]:
-    """The throughput numbers the gate watches, flattened."""
-    out = {
-        "serial.samples_per_cpu_second": doc["serial"][
-            "samples_per_cpu_second"
-        ]
-    }
-    for width, rep in sorted(doc.get("fleet", {}).items(), key=lambda kv: int(kv[0])):
-        out[f"fleet[{width}].modeled_samples_per_second"] = rep[
-            "modeled_samples_per_second"
-        ]
-    return out
+BASELINES_DIR = REPO_ROOT / "benchmarks" / "baselines"
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--baseline",
-        help="baseline JSON (default: the committed copy, via git show)",
+        "--store",
+        default=str(REPO_ROOT / DEFAULT_STORE_PATH),
+        help="results store (SQLite) path",
     )
     parser.add_argument(
-        "--current",
-        default=str(RESULTS),
-        help="freshly generated JSON (default: benchmarks/results/)",
+        "--profile",
+        default="smoke",
+        help="which profile's runs and baselines to compare "
+        "(default: smoke)",
     )
     parser.add_argument(
-        "--threshold",
-        type=float,
-        default=0.2,
-        help="max allowed fractional drop (default 0.2 = 20%%)",
+        "--baselines",
+        default=None,
+        help="baselines JSON (default: "
+        "benchmarks/baselines/{profile}.json)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="regenerate the baselines file's values from the store "
+        "instead of checking",
+    )
+    parser.add_argument(
+        "--summary",
+        default=None,
+        metavar="FILE",
+        help="append a markdown metric-by-metric table to FILE "
+        "(for $GITHUB_STEP_SUMMARY)",
     )
     args = parser.parse_args(argv)
 
-    current_path = pathlib.Path(args.current)
-    if not current_path.exists():
+    baselines_path = pathlib.Path(
+        args.baselines
+        if args.baselines is not None
+        else BASELINES_DIR / f"{args.profile}.json"
+    )
+    store_path = pathlib.Path(args.store)
+    if not store_path.exists():
         sys.exit(
-            f"error: {current_path} not found — run "
-            "`python -m pytest benchmarks/test_fleet_scaling.py` first"
+            f"error: no results store at {store_path} — run "
+            f"'python -m repro experiments run --profile "
+            f"{args.profile}' first"
         )
-    baseline = tracked_metrics(load_baseline(args.baseline))
-    current = tracked_metrics(json.loads(current_path.read_text()))
+    store = RunStore(store_path)
 
-    failures = []
-    for key, base_value in baseline.items():
-        if key not in current:
-            failures.append(f"{key}: missing from current results")
-            continue
-        now = current[key]
-        drop = 0.0 if base_value == 0 else (base_value - now) / base_value
-        status = "FAIL" if drop > args.threshold else "ok"
-        print(
-            f"{status:4s} {key:45s} baseline {base_value:12,.0f} "
-            f"current {now:12,.0f} ({-drop:+.1%})"
+    if args.update:
+        data = update_baselines(
+            store, baselines_path, profile=args.profile
         )
-        if drop > args.threshold:
-            failures.append(
-                f"{key}: {now:,.0f} is {drop:.1%} below baseline "
-                f"{base_value:,.0f} (threshold {args.threshold:.0%})"
-            )
-    if failures:
         print(
-            "\nthroughput regression vs committed results:\n  "
-            + "\n  ".join(failures),
+            f"wrote {len(data['metrics'])} baseline metrics to "
+            f"{baselines_path}"
+        )
+        return 0
+
+    if not baselines_path.exists():
+        sys.exit(
+            f"error: no baselines at {baselines_path} — generate "
+            "them with --update and commit the file"
+        )
+    result = check_store(
+        store, load_baselines(baselines_path), profile=args.profile
+    )
+    for row in result.rows:
+        value = "missing" if row.value is None else f"{row.value:12,.2f}"
+        delta = (
+            ""
+            if row.delta_fraction is None
+            else f" ({row.delta_fraction:+.1%})"
+        )
+        mark = "ok  " if row.status == "ok" else "FAIL"
+        print(
+            f"{mark} {row.key:70s} baseline {row.baseline:12,.2f} "
+            f"current {value}{delta}"
+        )
+    if args.summary:
+        with open(args.summary, "a") as fh:
+            fh.write(
+                markdown_summary(
+                    result,
+                    title=f"Regression gate ({args.profile})",
+                )
+            )
+    if result.failed:
+        print(
+            f"\n{len(result.regressions)} metric(s) regressed past "
+            "tolerance or went missing:\n  "
+            + "\n  ".join(
+                f"{r.key}: {r.status}" for r in result.regressions
+            ),
             file=sys.stderr,
         )
         return 1
-    print("\nno regression beyond threshold")
+    print(f"\nall {len(result.rows)} metrics within tolerance")
     return 0
 
 

@@ -1,19 +1,28 @@
 """Shared benchmark utilities.
 
 Every benchmark regenerates one of the paper's tables/figures, prints the
-paper-style rows, and appends them to ``benchmarks/results/`` so the
-output survives pytest's capture.  Benchmarks run the experiment once
-(``benchmark.pedantic(rounds=1)``) — the interesting output is the rows,
-not the harness's wall time.
+paper-style rows, and persists them twice: the rendered text block lands
+in ``benchmarks/results/{node}.txt`` (the human-readable view), and the
+run — with any machine-readable ``metrics`` the benchmark passes — is
+recorded in the results store
+(``benchmarks/results/store/runs.sqlite``) as a ``kind="bench"``
+:class:`~repro.experiments.store.RunRecord`, where the regression gate
+(``check_regression.py``) and ``repro experiments query`` can reach it.
+Benchmarks run the experiment once (``benchmark.pedantic(rounds=1)``) —
+the interesting output is the rows, not the harness's wall time.
 """
 
 from __future__ import annotations
 
 import pathlib
+from datetime import datetime, timezone
 
 import pytest
 
+from repro.experiments import RunRecord, RunStore, environment_fingerprint
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+STORE_PATH = RESULTS_DIR / "store" / "runs.sqlite"
 
 
 @pytest.fixture(scope="session")
@@ -22,15 +31,49 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
-@pytest.fixture()
-def emit(results_dir, request):
-    """Print a block of result lines and persist them per-benchmark."""
+@pytest.fixture(scope="session")
+def run_store() -> RunStore:
+    """The session-wide results store benchmarks record into."""
+    return RunStore(STORE_PATH)
 
-    def _emit(title: str, lines: list[str]) -> None:
+
+@pytest.fixture(scope="session")
+def bench_env() -> dict:
+    """One environment fingerprint shared by the whole bench session."""
+    return environment_fingerprint()
+
+
+@pytest.fixture()
+def emit(results_dir, run_store, bench_env, request):
+    """Print a block of result lines and persist them per-benchmark.
+
+    The ``.txt`` file keeps the rendered view; passing ``metrics=``
+    additionally records the numbers in the results store under the
+    benchmark's node name (a stable run ID, so re-runs replace).
+    """
+
+    def _emit(
+        title: str, lines: list[str], metrics: dict | None = None
+    ) -> None:
         block = [f"== {title} =="] + lines
         text = "\n".join(block)
         print("\n" + text)
         out = results_dir / f"{request.node.name}.txt"
         out.write_text(text + "\n")
+        run_store.record(
+            RunRecord(
+                run_id=f"bench:{request.node.name}",
+                experiment=request.node.module.__name__,
+                label=request.node.name,
+                kind="bench",
+                created_at=datetime.now(timezone.utc).isoformat(
+                    timespec="seconds"
+                ),
+                spec={"node": request.node.nodeid, "title": title},
+                env=bench_env,
+                metrics=metrics or {},
+                artifact=text + "\n",
+            )
+        )
 
     return _emit

@@ -9,8 +9,6 @@ cost (aggregate CPU) and the fleet-level win (modeled wall-clock =
 slowest shard, how the parallel tier actually finishes).
 """
 
-import json
-
 from repro.datagen import TraceConfig, TraceGenerator, rm1
 from repro.reader import ReaderFleet, ReaderNode
 from repro.storage import HiveTable, TectonicFS
@@ -28,7 +26,7 @@ def _landed_rm1_table(num_sessions=400, seed=0):
     return w, table
 
 
-def test_fleet_scaling(benchmark, emit, results_dir):
+def test_fleet_scaling(benchmark, emit):
     w, table = _landed_rm1_table()
     cfg_kwargs = dict(
         sparse_features=tuple(w.schema.sparse_names),
@@ -80,30 +78,27 @@ def test_fleet_scaling(benchmark, emit, results_dir):
             f"put {rep.queue.put_wait * 1e3:.0f} ms / "
             f"get {rep.queue.get_wait * 1e3:.0f} ms"
         )
-    emit("Reader-fleet scaling (serial vs sharded workers)", lines)
-
-    # machine-readable mirror of the text block: the regression gate
-    # (benchmarks/check_regression.py) compares these modeled-throughput
-    # numbers — deterministic given code + data — against the committed
-    # copy, so a code change that slows the modeled fleet fails CI
-    payload = {
-        "serial": {
-            "samples": serial.samples,
-            "samples_per_cpu_second": serial_qps,
-            "modeled_wall_seconds": serial.cpu.total,
-        },
-        "fleet": {
-            str(n): {
-                "samples": rep.merged.samples,
-                "samples_per_cpu_second": rep.merged.samples_per_cpu_second,
-                "modeled_samples_per_second": rep.modeled_samples_per_second,
-                "speedup_vs_serial": speedups[n],
-            }
-            for n, rep in res["fleet"].items()
-        },
+    # the store row mirrors the text block in machine-readable form:
+    # these modeled throughputs — deterministic given code + data — are
+    # what the regression gate (benchmarks/check_regression.py) can
+    # compare against committed baselines
+    metrics = {
+        "serial.samples": float(serial.samples),
+        "serial.samples_per_cpu_second": serial_qps,
+        "serial.modeled_wall_seconds": serial.cpu.total,
     }
-    (results_dir / "fleet_scaling.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    for n, rep in res["fleet"].items():
+        metrics[f"fleet[{n}].samples_per_cpu_second"] = (
+            rep.merged.samples_per_cpu_second
+        )
+        metrics[f"fleet[{n}].modeled_samples_per_second"] = (
+            rep.modeled_samples_per_second
+        )
+        metrics[f"fleet[{n}].speedup_vs_serial"] = speedups[n]
+    emit(
+        "Reader-fleet scaling (serial vs sharded workers)",
+        lines,
+        metrics=metrics,
     )
 
     # every fleet width processes exactly the serial sample count

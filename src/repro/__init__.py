@@ -31,6 +31,7 @@ from . import (
     datagen,
     distributed,
     etl,
+    experiments,
     metrics,
     pipeline,
     reader,
@@ -52,5 +53,6 @@ __all__ = [
     "distributed",
     "metrics",
     "pipeline",
+    "experiments",
     "__version__",
 ]

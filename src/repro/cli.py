@@ -21,6 +21,16 @@ import argparse
 import sys
 
 from .datagen import rm1, rm2, rm3
+from .experiments import (
+    DEFAULT_STORE_PATH,
+    PROFILES,
+    RunStore,
+    expand_grid,
+    get_profile,
+    render_report,
+    run_grid,
+    run_profile,
+)
 from .pipeline import (
     DataSpec,
     JobSpec,
@@ -504,6 +514,69 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_experiments(args) -> int:
+    """Dispatch ``repro experiments {run,list,query,report}``."""
+    if args.exp_command == "list":
+        for name in sorted(PROFILES):
+            profile = PROFILES[name]
+            print(f"{name}: {profile.description} "
+                  f"({profile.num_runs} runs)")
+            for grid in profile.grids:
+                points = expand_grid(grid)
+                print(f"  {grid.name} ({len(points)} points): "
+                      f"{grid.description}")
+                if args.verbose:
+                    for p in points:
+                        print(f"    {p.run_id}  {p.label}")
+        return 0
+
+    store = RunStore(args.store)
+    if args.exp_command == "run":
+        profile = get_profile(args.profile)
+        if args.experiment is not None:
+            outcome = run_grid(
+                profile.grid(args.experiment),
+                store,
+                profile=profile.name,
+                resume=args.resume,
+                progress=print,
+            )
+        else:
+            outcome = run_profile(
+                profile, store, resume=args.resume, progress=print
+            )
+        print(
+            f"profile {profile.name}: executed {len(outcome.executed)}, "
+            f"skipped {len(outcome.skipped)} (store: {store.path})"
+        )
+        return 0
+    if args.exp_command == "query":
+        records = store.query(
+            experiment=args.experiment,
+            label=args.label,
+            profile=args.profile,
+        )
+        if not records:
+            print("no matching runs", file=sys.stderr)
+            return 1
+        for r in records:
+            print(f"{r.run_id}  {r.experiment}/{r.label}  "
+                  f"[{r.kind}{'/' + r.profile if r.profile else ''}]  "
+                  f"{r.created_at}")
+            if args.metric is not None:
+                value = r.metrics.get(args.metric)
+                print(f"  {args.metric} = "
+                      f"{value if value is not None else '(not recorded)'}")
+            elif args.verbose:
+                for name in sorted(r.metrics):
+                    print(f"  {name} = {r.metrics[name]:.6g}")
+        return 0
+    if args.exp_command == "report":
+        print(render_report(store, args.profile), end="")
+        return 0
+    raise SystemExit(f"unknown experiments command {args.exp_command!r}")
+
+
 _COMMANDS = {
     "fig3": _cmd_fig3,
     "fig4": _cmd_fig4,
@@ -520,6 +593,7 @@ _COMMANDS = {
     "pipeline": _cmd_pipeline,
     "multijob": _cmd_multijob,
     "simulate": _cmd_simulate,
+    "experiments": _cmd_experiments,
 }
 
 
@@ -600,6 +674,63 @@ def _add_retention_args(p) -> None:
                         "partition lands and the oldest is dropped")
 
 
+def _add_experiments_parser(sub) -> None:
+    """The ``experiments`` subcommand tree (matrix harness + store).
+
+    Unlike the figure subcommands, these take no ``--scale/--sessions``
+    knobs: run shapes come from the declared profiles, which is what
+    makes run IDs content-addressed and results comparable.
+    """
+    p = sub.add_parser(
+        "experiments",
+        help="experiment-matrix harness: run profiles, query the store",
+    )
+    esub = p.add_subparsers(dest="exp_command", required=True)
+
+    run = esub.add_parser(
+        "run", help="execute a profile's grids (resume-on-rerun)"
+    )
+    run.add_argument("--profile", choices=sorted(PROFILES),
+                     default="smoke",
+                     help="which run profile to execute")
+    run.add_argument("--experiment", default=None, metavar="NAME",
+                     help="run only this experiment of the profile")
+    run.add_argument("--store", default=str(DEFAULT_STORE_PATH),
+                     help="results store (SQLite) path")
+    run.add_argument("--resume", action=argparse.BooleanOptionalAction,
+                     default=True,
+                     help="skip runs already in the store "
+                          "(--no-resume forces re-execution)")
+
+    lst = esub.add_parser(
+        "list", help="list profiles, their grids, and run points"
+    )
+    lst.add_argument("--verbose", "-v", action="store_true",
+                     help="also print every point's run ID and label")
+
+    query = esub.add_parser("query", help="inspect stored runs")
+    query.add_argument("--store", default=str(DEFAULT_STORE_PATH),
+                       help="results store (SQLite) path")
+    query.add_argument("--experiment", default=None,
+                       help="filter: experiment name")
+    query.add_argument("--label", default=None,
+                       help="filter: run label within the experiment")
+    query.add_argument("--profile", default=None,
+                       help="filter: recording profile")
+    query.add_argument("--metric", default=None,
+                       help="print this metric's value per run")
+    query.add_argument("--verbose", "-v", action="store_true",
+                       help="print every metric per run")
+
+    report = esub.add_parser(
+        "report", help="render paper figures from the store"
+    )
+    report.add_argument("--store", default=str(DEFAULT_STORE_PATH),
+                        help="results store (SQLite) path")
+    report.add_argument("--profile", default=None,
+                        help="restrict to one profile's runs")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``repro`` argument parser.
 
@@ -615,6 +746,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     for name in _COMMANDS:
+        if name == "experiments":
+            _add_experiments_parser(sub)
+            continue
         p = sub.add_parser(name, help=f"run the {name} experiment")
         p.add_argument("--scale", type=float, default=0.5,
                        help="workload scale factor (default 0.5)")

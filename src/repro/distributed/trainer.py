@@ -117,6 +117,23 @@ class TrainingReport:
             self.iterations
         )
 
+    def as_dict(self) -> dict:
+        """Serialize to a plain JSON-ready dict (the run-store form):
+        the loss trajectory (the bit-identity fingerprint), the modeled
+        throughput summary, the mean phase breakdown, and the measured
+        ingestion-loop wall tallies."""
+        return {
+            "steps": len(self.iterations),
+            "losses": self.losses,
+            "mean_samples_per_second": self.mean_samples_per_second,
+            "mean_breakdown": self.mean_breakdown.as_dict(),
+            "max_mem_util": self.max_mem_util,
+            "mean_flops_per_gpu_second": self.mean_flops_per_gpu_second,
+            "ingest_wait_seconds": self.ingest_wait_seconds,
+            "step_wall_seconds": self.step_wall_seconds,
+            "run_wall_seconds": self.run_wall_seconds,
+        }
+
 
 class DistributedTrainer:
     """Runs a DLRM under the hybrid-parallel latency model."""

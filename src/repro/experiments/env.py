@@ -1,0 +1,50 @@
+"""Environment fingerprinting for stored runs.
+
+Every metric in this repo is *modeled* (cost-model seconds), so results
+are bit-reproducible across machines — but only for a given code
+version and toolchain.  The fingerprint recorded next to each run is
+what lets a store query answer "were these two runs produced by the
+same code on comparable stacks?" without re-running anything.
+"""
+
+from __future__ import annotations
+
+import platform
+import subprocess
+import sys
+
+__all__ = ["environment_fingerprint"]
+
+
+def _git_commit() -> str:
+    """The working tree's HEAD commit, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def environment_fingerprint() -> dict:
+    """The toolchain/code identity to record next to a run.
+
+    Returns:
+        A JSON-ready dict: python version, platform triple, numpy
+        version, and the git commit (``"unknown"`` when not in a
+        checkout).
+    """
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.platform(),
+        "numpy": numpy.__version__,
+        "git_commit": _git_commit(),
+    }

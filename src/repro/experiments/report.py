@@ -1,0 +1,269 @@
+"""Store-backed figure/table drivers.
+
+The classic drivers in :mod:`repro.pipeline.experiments` execute their
+configurations inline every time they are called.  These ports read the
+same figures out of the :class:`~repro.experiments.store.RunStore`
+instead: run a profile once (``repro experiments run --profile smoke``),
+then render any figure from the persisted records — no re-execution,
+and the rendering is reproducible because the store rows carry full
+provenance.
+
+Each driver raises :class:`LookupError` with the exact command to run
+when the store lacks its experiment, so a bare store fails with
+instructions instead of an empty table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .profiles import _ABLATION_STAGES
+from .store import RunRecord, RunStore
+
+__all__ = [
+    "fig7_from_store",
+    "ablation_from_store",
+    "fleet_scaling_from_store",
+    "single_node_from_store",
+    "render_report",
+]
+
+
+def _latest_by_label(
+    store: RunStore, experiment: str, profile: str | None
+) -> dict[str, RunRecord]:
+    """Latest record per label for one experiment, or a LookupError
+    telling the user how to populate the store."""
+    out: dict[str, RunRecord] = {}
+    for record in store.query(experiment=experiment, profile=profile):
+        out[record.label] = record  # query orders oldest -> newest
+    if not out:
+        raise LookupError(
+            f"store {store.path} has no {experiment!r} runs"
+            + (f" for profile {profile!r}" if profile else "")
+            + "; populate it with "
+            "'repro experiments run --profile smoke' first"
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One workload's RecD-vs-baseline speedups (the Fig 7 shape)."""
+
+    rm: str
+    trainer_x: float
+    reader_x: float
+    storage_x: float
+    scribe_x: float
+
+
+def fig7_from_store(
+    store: RunStore, profile: str | None = None
+) -> list[SpeedupRow]:
+    """Fig 7 from stored runs: per-RM speedup ratios.
+
+    Args:
+        store: a store populated with the ``fig7_throughput`` grid.
+        profile: restrict to one profile's runs.
+
+    Raises:
+        LookupError: when the store lacks the grid, or a workload is
+            missing either its baseline or RecD endpoint.
+    """
+    records = _latest_by_label(store, "fig7_throughput", profile)
+    by_rm: dict[str, dict[str, RunRecord]] = {}
+    for record in records.values():
+        rm = record.spec.get("workload.rm", "?")
+        by_rm.setdefault(rm, {})[record.spec.get("toggles")] = record
+    rows = []
+    for rm in sorted(by_rm):
+        pair = by_rm[rm]
+        if "baseline" not in pair or "recd" not in pair:
+            raise LookupError(
+                f"fig7_throughput has no complete baseline/recd pair "
+                f"for {rm}: labels {sorted(records)}"
+            )
+        base, recd = pair["baseline"].metrics, pair["recd"].metrics
+        rows.append(
+            SpeedupRow(
+                rm=rm,
+                trainer_x=recd["trainer_qps"] / base["trainer_qps"],
+                reader_x=recd["reader_qps"] / base["reader_qps"],
+                storage_x=(
+                    recd["storage_compression"]
+                    / base["storage_compression"]
+                ),
+                scribe_x=(
+                    recd["scribe_compression"]
+                    / base["scribe_compression"]
+                ),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class AblationStage:
+    """One ablation stage's throughput (the Fig 9 shape)."""
+
+    label: str
+    qps: float
+    normalized: float
+
+
+def ablation_from_store(
+    store: RunStore, profile: str | None = None
+) -> list[AblationStage]:
+    """Fig 9's cumulative staircase from stored runs, in stage order.
+
+    Raises:
+        LookupError: when the store lacks the grid or any stage.
+    """
+    records = _latest_by_label(store, "fig9_ablation", profile)
+    stages = []
+    base_qps: float | None = None
+    for label, _ in _ABLATION_STAGES:
+        if label not in records:
+            raise LookupError(
+                f"fig9_ablation is missing stage {label!r}; "
+                f"stored labels: {sorted(records)}"
+            )
+        qps = records[label].metrics["trainer_qps"]
+        if base_qps is None:
+            base_qps = qps
+        stages.append(
+            AblationStage(
+                label=label, qps=qps, normalized=qps / base_qps
+            )
+        )
+    return stages
+
+
+@dataclass(frozen=True)
+class FleetScalingRow:
+    """One fleet width's modeled scan throughput."""
+
+    width: int
+    modeled_samples_per_second: float
+    speedup_vs_serial: float
+
+
+def fleet_scaling_from_store(
+    store: RunStore, profile: str | None = None
+) -> list[FleetScalingRow]:
+    """The fleet-width scaling curve from stored runs, narrowest first.
+
+    Raises:
+        LookupError: when the store lacks the grid.
+    """
+    records = _latest_by_label(store, "fleet_scaling", profile)
+    by_width = {
+        int(r.spec["reader.num_readers"]): r for r in records.values()
+    }
+    serial = by_width[min(by_width)].metrics[
+        "fleet_modeled_samples_per_second"
+    ]
+    return [
+        FleetScalingRow(
+            width=width,
+            modeled_samples_per_second=(
+                by_width[width].metrics[
+                    "fleet_modeled_samples_per_second"
+                ]
+            ),
+            speedup_vs_serial=(
+                by_width[width].metrics[
+                    "fleet_modeled_samples_per_second"
+                ]
+                / serial
+            ),
+        )
+        for width in sorted(by_width)
+    ]
+
+
+def single_node_from_store(
+    store: RunStore, profile: str | None = None
+) -> dict[str, dict[str, float]]:
+    """Streaming-vs-materialized overlap attribution from stored runs.
+
+    Returns:
+        ``{"streaming": {...fractions...}, "materialized": {...}}``
+        with each mode's wall-clock attribution (Fig 8's semantics:
+        the time streaming overlaps away shows up as the materialized
+        mode's ``other`` fraction).
+
+    Raises:
+        LookupError: when the store lacks the grid.
+    """
+    records = _latest_by_label(store, "single_node", profile)
+    out: dict[str, dict[str, float]] = {}
+    for record in records.values():
+        mode = (
+            "streaming"
+            if record.spec.get("reader.streaming", True)
+            else "materialized"
+        )
+        overlap = record.reports.get("overlap", {})
+        out[mode] = dict(overlap.get("fractions", {}))
+    return out
+
+
+def render_report(
+    store: RunStore, profile: str | None = None
+) -> str:
+    """Render every experiment present in the store as one text report.
+
+    Experiments missing from the store are noted, not fatal — so a
+    partially populated store still renders what it has.
+    """
+    sections: list[str] = []
+
+    def _section(title: str, build) -> None:
+        """Render one experiment, degrading to a note when absent."""
+        lines = [title, "-" * len(title)]
+        try:
+            lines.extend(build())
+        except LookupError as exc:
+            lines.append(f"(not in store: {exc})")
+        sections.append("\n".join(lines))
+
+    _section(
+        "Fig 7: end-to-end speedups (RecD / baseline)",
+        lambda: [
+            f"{r.rm}: trainer {r.trainer_x:.2f}x  reader "
+            f"{r.reader_x:.2f}x  storage {r.storage_x:.2f}x  "
+            f"scribe {r.scribe_x:.2f}x"
+            for r in fig7_from_store(store, profile)
+        ],
+    )
+    _section(
+        "Fig 9: RM1 optimization staircase",
+        lambda: [
+            f"{s.label:<10} qps {s.qps:12.1f}  ({s.normalized:.2f}x)"
+            for s in ablation_from_store(store, profile)
+        ],
+    )
+    _section(
+        "Fleet scaling: modeled scan throughput vs width",
+        lambda: [
+            f"width {r.width:>2}: "
+            f"{r.modeled_samples_per_second:12.1f} samples/s  "
+            f"({r.speedup_vs_serial:.2f}x vs serial)"
+            for r in fleet_scaling_from_store(store, profile)
+        ],
+    )
+    _section(
+        "Single node: ingestion overlap attribution",
+        lambda: [
+            f"{mode:<12} "
+            + "  ".join(
+                f"{k}={v:.1%}" for k, v in sorted(fractions.items())
+            )
+            for mode, fractions in sorted(
+                single_node_from_store(store, profile).items()
+            )
+        ],
+    )
+    return "\n\n".join(sections) + "\n"

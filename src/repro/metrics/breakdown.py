@@ -42,6 +42,15 @@ class ReaderCpuBreakdown:
             "total": self.total / denom,
         }
 
+    def as_dict(self) -> dict:
+        """Serialize to a plain JSON-ready dict (the run-store form)."""
+        return {
+            "fill": self.fill,
+            "convert": self.convert,
+            "process": self.process,
+            "total": self.total,
+        }
+
 
 @dataclass
 class QueueWaitBreakdown:
@@ -71,6 +80,14 @@ class QueueWaitBreakdown:
         """Fold another run's queue waits in (epoch aggregation)."""
         self.put_wait += other.put_wait
         self.get_wait += other.get_wait
+
+    def as_dict(self) -> dict:
+        """Serialize to a plain JSON-ready dict (the run-store form)."""
+        return {
+            "put_wait": self.put_wait,
+            "get_wait": self.get_wait,
+            "total": self.total,
+        }
 
 
 @dataclass
@@ -104,4 +121,14 @@ class IterationBreakdown:
             "a2a": self.a2a / denom,
             "other": self.other / denom,
             "total": self.total / denom,
+        }
+
+    def as_dict(self) -> dict:
+        """Serialize to a plain JSON-ready dict (the run-store form)."""
+        return {
+            "emb_lookup": self.emb_lookup,
+            "gemm": self.gemm,
+            "a2a": self.a2a,
+            "other": self.other,
+            "total": self.total,
         }

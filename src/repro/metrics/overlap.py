@@ -107,6 +107,19 @@ class OverlapReport:
             "other": self.other_fraction,
         }
 
+    def as_dict(self) -> dict:
+        """Serialize to a plain JSON-ready dict (the run-store form)."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "reader_stall_seconds": self.reader_stall_seconds,
+            "trainer_busy_seconds": self.trainer_busy_seconds,
+            "other_seconds": self.other_seconds,
+            "fractions": self.fractions,
+            "queue": self.queue.as_dict(),
+            "batches": self.batches,
+            "streaming": self.streaming,
+        }
+
     @classmethod
     def modeled(
         cls,

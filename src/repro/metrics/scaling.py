@@ -113,6 +113,15 @@ class ScalingTrace:
                 settled = None
         return settled
 
+    def as_dict(self) -> dict:
+        """Serialize to a plain JSON-ready dict (the run-store form)."""
+        return {
+            "target_stall": self.target_stall,
+            "final_width": self.final_width,
+            "converged_epoch": self.converged_epoch,
+            "decisions": self.as_rows(),
+        }
+
     def as_rows(self) -> list[dict]:
         """Serialize the trace into figure-style row dicts."""
         return [

@@ -220,6 +220,25 @@ class TierReport:
                 streak = 0
         return worst
 
+    def as_dict(self) -> dict:
+        """Serialize to a plain JSON-ready dict (the run-store form):
+        the policy, every (round, job) row, the per-job and aggregate
+        overlap attributions, and the scaling trace when present."""
+        return {
+            "policy": self.policy,
+            "widths": self.widths,
+            "modeled_wall_seconds": self.modeled_wall_seconds,
+            "rows": self.as_rows(),
+            "per_job": {
+                name: report.as_dict()
+                for name, report in self.per_job.items()
+            },
+            "aggregate": self.aggregate.as_dict(),
+            "scaling": (
+                self.scaling.as_dict() if self.scaling is not None else None
+            ),
+        }
+
     def as_rows(self) -> list[dict]:
         """Serialize to figure-style row dicts: one row per (round,
         job) pair, zero-worker rounds included."""

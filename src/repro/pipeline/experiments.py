@@ -4,6 +4,11 @@ Each driver runs the relevant configurations through the pipeline and
 returns a small result object whose fields mirror the paper's reported
 rows/series.  The benchmark harness prints them; EXPERIMENTS.md records
 paper-vs-measured.
+
+The matrix-driven successors live in :mod:`repro.experiments`: the
+same figures rendered from the results store
+(:mod:`repro.experiments.report`), populated by ``repro experiments
+run`` instead of re-executing configs inline.
 """
 
 from __future__ import annotations

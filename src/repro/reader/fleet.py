@@ -218,6 +218,26 @@ class FleetReport:
         self.straggler_shards += other.straggler_shards
         self.wasted_cpu_seconds += other.wasted_cpu_seconds
 
+    def as_dict(self) -> dict:
+        """Serialize to a plain JSON-ready dict (the run-store form).
+
+        Per-worker reports serialize individually so the stored form
+        preserves shard-level imbalance, not just the merged rollup.
+        """
+        return {
+            "executor_used": self.executor_used,
+            "num_workers": len(self.workers),
+            "num_shards": self.num_shards,
+            "workers": [w.as_dict() for w in self.workers],
+            "merged": self.merged.as_dict(),
+            "queue": self.queue.as_dict(),
+            "modeled_wall_seconds": self.modeled_wall_seconds,
+            "modeled_samples_per_second": self.modeled_samples_per_second,
+            "crashes": self.crashes,
+            "straggler_shards": self.straggler_shards,
+            "wasted_cpu_seconds": self.wasted_cpu_seconds,
+        }
+
 
 def _fleet_worker(
     blobs: list[bytes],

@@ -48,6 +48,17 @@ class ReaderReport:
         self.read_bytes += other.read_bytes
         self.send_bytes += other.send_bytes
 
+    def as_dict(self) -> dict:
+        """Serialize to a plain JSON-ready dict (the run-store form)."""
+        return {
+            "cpu": self.cpu.as_dict(),
+            "samples": self.samples,
+            "batches": self.batches,
+            "read_bytes": self.read_bytes,
+            "send_bytes": self.send_bytes,
+            "samples_per_cpu_second": self.samples_per_cpu_second,
+        }
+
 
 class ReaderNode:
     """One reader node bound to a job config and a cost model."""

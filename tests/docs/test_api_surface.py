@@ -1,5 +1,6 @@
-"""The public-API snapshot: ``repro.pipeline.__all__`` plus every spec
-dataclass's field names are diffed against a checked-in manifest
+"""The public-API snapshot: ``repro.pipeline.__all__``,
+``repro.experiments.__all__``, and every spec dataclass's field names
+are diffed against a checked-in manifest
 (``tests/docs/api_manifest.json``), so run-surface changes are always
 deliberate — adding, renaming, or removing a public name or spec field
 fails CI until the manifest is updated in the same change."""
@@ -7,6 +8,9 @@ fails CI until the manifest is updated in the same change."""
 import json
 from pathlib import Path
 
+import pytest
+
+import repro.experiments
 import repro.pipeline
 from repro.pipeline.spec import spec_field_names
 
@@ -17,6 +21,7 @@ def _current_surface() -> dict:
     """The live public surface, in the manifest's shape."""
     return {
         "pipeline_all": sorted(repro.pipeline.__all__),
+        "experiments_all": sorted(repro.experiments.__all__),
         "spec_fields": spec_field_names(),
     }
 
@@ -32,17 +37,18 @@ def test_public_surface_matches_manifest():
     manifest = json.loads(MANIFEST_PATH.read_text())
     current = _current_surface()
     assert current == manifest, (
-        "the public pipeline API surface changed; if intentional, "
+        "the public API surface changed; if intentional, "
         f"update {MANIFEST_PATH.name} (see this test's docstring) and "
-        "document the change in docs/api.md"
+        "document the change in docs/api.md or docs/experiments.md"
     )
 
 
-def test_all_names_resolve():
+@pytest.mark.parametrize(
+    "module", [repro.pipeline, repro.experiments], ids=lambda m: m.__name__
+)
+def test_all_names_resolve(module):
     """Everything advertised in __all__ actually exists."""
     missing = [
-        name
-        for name in repro.pipeline.__all__
-        if not hasattr(repro.pipeline, name)
+        name for name in module.__all__ if not hasattr(module, name)
     ]
     assert not missing, f"__all__ advertises missing names: {missing}"

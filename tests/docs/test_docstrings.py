@@ -13,7 +13,14 @@ import pytest
 SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 
 #: the packages whose public surface is under the docstring contract
-SCOPED_PACKAGES = ("reader", "pipeline", "scribe", "storage", "metrics")
+SCOPED_PACKAGES = (
+    "reader",
+    "pipeline",
+    "scribe",
+    "storage",
+    "metrics",
+    "experiments",
+)
 
 
 def _scoped_files():

@@ -1,0 +1,280 @@
+"""The regression gate: baselines, tolerances, and the CI script."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    RunRecord,
+    RunStore,
+    check_store,
+    load_baselines,
+    markdown_summary,
+    update_baselines,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import check_regression  # noqa: E402
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = RunStore(tmp_path / "runs.sqlite")
+    store.record(
+        RunRecord(
+            run_id="r1",
+            experiment="fig7",
+            label="rm=RM1",
+            profile="smoke",
+            created_at="2026-08-08T00:00:00+00:00",
+            metrics={"trainer_qps": 100.0, "reader_qps": 50.0},
+        )
+    )
+    return store
+
+
+def _baselines(**metrics) -> dict:
+    return {
+        "defaults": {"tolerance": 0.2, "direction": "higher"},
+        "metrics": metrics,
+    }
+
+
+class TestCheckStore:
+    def test_within_tolerance_passes(self, store):
+        result = check_store(
+            store,
+            _baselines(**{"fig7/rm=RM1:trainer_qps": {"value": 110.0}}),
+        )
+        assert not result.failed
+        assert result.rows[0].status == "ok"
+
+    def test_drop_past_tolerance_fails(self, store):
+        result = check_store(
+            store,
+            _baselines(**{"fig7/rm=RM1:trainer_qps": {"value": 200.0}}),
+        )
+        assert result.failed
+        assert result.rows[0].status == "regression"
+
+    def test_direction_lower_inverts(self, store):
+        # stored 100 is *above* a baseline of 50: bad when lower=better
+        result = check_store(
+            store,
+            _baselines(
+                **{
+                    "fig7/rm=RM1:trainer_qps": {
+                        "value": 50.0,
+                        "direction": "lower",
+                    }
+                }
+            ),
+        )
+        assert result.rows[0].status == "regression"
+
+    def test_per_metric_tolerance_overrides_default(self, store):
+        baselines = _baselines(
+            **{
+                "fig7/rm=RM1:trainer_qps": {
+                    "value": 110.0,
+                    "tolerance": 0.01,
+                }
+            }
+        )
+        assert check_store(store, baselines).failed
+
+    def test_missing_metric_fails(self, store):
+        result = check_store(
+            store,
+            _baselines(**{"fig7/rm=RM1:storage_compression": {"value": 1.0}}),
+        )
+        assert result.failed
+        assert result.rows[0].status == "missing"
+
+    def test_missing_run_fails(self, store):
+        result = check_store(
+            store,
+            _baselines(**{"fig7/rm=RM9:trainer_qps": {"value": 1.0}}),
+        )
+        assert result.rows[0].status == "missing"
+
+    def test_profile_filter_restricts_lookup(self, store):
+        result = check_store(
+            store,
+            _baselines(**{"fig7/rm=RM1:trainer_qps": {"value": 100.0}}),
+            profile="paper",
+        )
+        assert result.rows[0].status == "missing"
+
+    def test_latest_record_wins(self, store):
+        store.record(
+            RunRecord(
+                run_id="r2",
+                experiment="fig7",
+                label="rm=RM1",
+                profile="smoke",
+                created_at="2026-08-08T01:00:00+00:00",
+                metrics={"trainer_qps": 10.0},
+            )
+        )
+        result = check_store(
+            store,
+            _baselines(**{"fig7/rm=RM1:trainer_qps": {"value": 100.0}}),
+        )
+        assert result.rows[0].status == "regression"
+
+
+class TestBaselinesFile:
+    def test_load_rejects_bad_key(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"metrics": {"no-slash": {"value": 1}}}))
+        with pytest.raises(ValueError, match="experiment/label:metric"):
+            load_baselines(path)
+
+    def test_load_rejects_missing_value(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps({"metrics": {"e/l:m": {"tolerance": 0.1}}})
+        )
+        with pytest.raises(ValueError, match="value"):
+            load_baselines(path)
+
+    def test_load_rejects_bad_direction(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "defaults": {"direction": "sideways"},
+                    "metrics": {},
+                }
+            )
+        )
+        with pytest.raises(ValueError, match="direction"):
+            load_baselines(path)
+
+    def test_update_snapshots_store_values(self, store, tmp_path):
+        path = tmp_path / "b.json"
+        data = update_baselines(store, path)
+        key = "fig7/rm=RM1:trainer_qps"
+        assert data["metrics"][key]["value"] == 100.0
+        assert load_baselines(path) == data
+
+    def test_update_preserves_overrides(self, store, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                _baselines(
+                    **{
+                        "fig7/rm=RM1:trainer_qps": {
+                            "value": 1.0,
+                            "tolerance": 0.05,
+                            "direction": "lower",
+                        }
+                    }
+                )
+            )
+        )
+        data = update_baselines(store, path)
+        entry = data["metrics"]["fig7/rm=RM1:trainer_qps"]
+        assert entry == {
+            "value": 100.0,
+            "tolerance": 0.05,
+            "direction": "lower",
+        }
+
+
+class TestMarkdownSummary:
+    def test_table_marks_pass_and_fail(self, store):
+        result = check_store(
+            store,
+            _baselines(
+                **{
+                    "fig7/rm=RM1:trainer_qps": {"value": 100.0},
+                    "fig7/rm=RM1:storage_compression": {"value": 1.0},
+                }
+            ),
+        )
+        text = markdown_summary(result)
+        assert "✅ ok" in text
+        assert "❌ missing" in text
+        assert "1 metric(s) failed" in text
+
+    def test_all_green_verdict(self, store):
+        result = check_store(
+            store,
+            _baselines(**{"fig7/rm=RM1:trainer_qps": {"value": 100.0}}),
+        )
+        assert "All metrics within tolerance" in markdown_summary(result)
+
+
+class TestCheckRegressionScript:
+    """The CI entry point (acceptance: planted regression → exit 1)."""
+
+    def _argv(self, store, baselines):
+        return [
+            "--store",
+            str(store.path),
+            "--profile",
+            "smoke",
+            "--baselines",
+            str(baselines),
+        ]
+
+    def test_passes_when_within_tolerance(self, store, tmp_path, capsys):
+        baselines = tmp_path / "b.json"
+        update_baselines(store, baselines)
+        assert check_regression.main(self._argv(store, baselines)) == 0
+        assert "within tolerance" in capsys.readouterr().out
+
+    def test_planted_regression_exits_nonzero(
+        self, store, tmp_path, capsys
+    ):
+        baselines = tmp_path / "b.json"
+        update_baselines(store, baselines)
+        # plant the regression: the store's newest run craters a metric
+        store.record(
+            RunRecord(
+                run_id="r-bad",
+                experiment="fig7",
+                label="rm=RM1",
+                profile="smoke",
+                created_at="2026-08-08T02:00:00+00:00",
+                metrics={"trainer_qps": 1.0, "reader_qps": 50.0},
+            )
+        )
+        assert check_regression.main(self._argv(store, baselines)) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "regressed past tolerance" in captured.err
+
+    def test_update_flag_writes_baselines(self, store, tmp_path):
+        baselines = tmp_path / "b.json"
+        argv = self._argv(store, baselines) + ["--update"]
+        assert check_regression.main(argv) == 0
+        assert load_baselines(baselines)["metrics"]
+
+    def test_summary_file_gets_markdown_table(self, store, tmp_path):
+        baselines = tmp_path / "b.json"
+        update_baselines(store, baselines)
+        summary = tmp_path / "summary.md"
+        argv = self._argv(store, baselines) + ["--summary", str(summary)]
+        assert check_regression.main(argv) == 0
+        assert "| metric |" in summary.read_text()
+
+    def test_missing_store_exits_with_instructions(self, tmp_path):
+        with pytest.raises(SystemExit, match="experiments run"):
+            check_regression.main(
+                ["--store", str(tmp_path / "absent.sqlite")]
+            )
+
+    def test_missing_baselines_exits_with_instructions(
+        self, store, tmp_path
+    ):
+        with pytest.raises(SystemExit, match="--update"):
+            check_regression.main(
+                self._argv(store, tmp_path / "absent.json")
+            )
