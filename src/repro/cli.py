@@ -189,6 +189,7 @@ def _spec_from_args(
     scale: float | None = None,
     name: str | None = None,
     weight: float = 1.0,
+    dedup: bool | None = None,
     **overrides,
 ) -> JobSpec:
     """One :class:`JobSpec` from the spec-derived argument groups.
@@ -206,6 +207,7 @@ def _spec_from_args(
     rm = args.rm if rm is None else rm
     recd = args.recd if recd is None else recd
     scale = args.scale if scale is None else scale
+    dedup = args.dedup if dedup is None else dedup
     toggles = RecDToggles.full() if recd else RecDToggles.baseline()
     get = overrides.get
     retain = get("retain_partitions", args.retain_partitions)
@@ -222,6 +224,7 @@ def _spec_from_args(
             prefetch_depth=args.prefetch_depth,
             executor=args.reader_executor,
             streaming=args.streaming,
+            dedup=dedup,
         ),
         train=TrainSpec(
             train_epochs=get("train_epochs", args.train_epochs),
@@ -276,6 +279,13 @@ def _cmd_pipeline(args) -> int:
             f"{100 * ov.other_fraction:.1f}% of "
             f"{ov.wall_seconds * 1e3:.1f} ms wall"
         )
+        if ov.decoded_bytes:
+            print(
+                f"  bytes               : read {ov.read_bytes:,}, "
+                f"decoded {ov.decoded_bytes:,}, expanded "
+                f"{ov.expanded_bytes:,} (saved {ov.bytes_saved:,}, "
+                f"{ov.dedupe_byte_factor:.2f}x)"
+            )
     if res.dropped_partitions:
         print(
             f"  retention           : window {args.retain_partitions}, "
@@ -334,12 +344,15 @@ def _parse_job_spec(spec: str, args, name: str) -> JobSpec:
     scale = args.scale
     recd = False
     weight = 1.0
+    dedup = None
     kw = {}
     for token in parts[1:]:
         if token == "recd":
             recd = True
         elif token == "baseline":
             recd = False
+        elif token == "dedup":
+            dedup = True
         elif "=" in token:
             key, value = token.split("=", 1)
             if key == "scale":
@@ -357,7 +370,7 @@ def _parse_job_spec(spec: str, args, name: str) -> JobSpec:
         else:
             raise SystemExit(
                 f"--job {spec!r}: unknown token {token!r} (expected "
-                "'recd', 'baseline', or key=value)"
+                "'recd', 'baseline', 'dedup', or key=value)"
             )
     return _spec_from_args(
         args,
@@ -367,6 +380,7 @@ def _parse_job_spec(spec: str, args, name: str) -> JobSpec:
         scale=scale,
         name=name,
         weight=weight,
+        dedup=dedup,
         **kw,
     )
 
@@ -632,6 +646,11 @@ def _add_reader_args(p, *, shared: bool) -> None:
                    default=True,
                    help="stream reader batches into the trainers "
                         "(--no-streaming materializes first)")
+    g.add_argument("--dedup", action="store_true",
+                   help="ship session-deduplicated IKJT batches over "
+                        "the prefetch queues; the trainer expands after "
+                        "the pooled lookup (losses stay bit-identical, "
+                        "bytes-decoded shrink)")
 
 
 def _add_train_args(p, *, shared: bool) -> None:
@@ -786,7 +805,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "specs are given")
             g.add_argument("--job", action="append", default=[],
                            metavar="SPEC",
-                           help="one job spec: RM[:recd|baseline]"
+                           help="one job spec: RM[:recd|baseline][:dedup]"
                                 "[:key=value ...] with keys scale, seed, "
                                 "sessions, epochs, batches, partitions, "
                                 "batch_size, retain, weight; repeatable")

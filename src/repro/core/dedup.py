@@ -100,7 +100,9 @@ def exact_duplicate_fraction(
     """
     if len(rows) != len(session_ids):
         raise ValueError("rows and session_ids must align")
-    if not rows:
+    # len(), not truthiness: ``rows`` may be a numpy array, whose bool()
+    # is ambiguous for more than one row.
+    if len(rows) == 0:
         return 0.0
     counts: dict[tuple[int, bytes], int] = {}
     for sid, row in zip(session_ids, rows):

@@ -142,6 +142,21 @@ class InverseKeyedJaggedTensor:
         """
         return sum(jt.nbytes for jt in self._tensors.values())
 
+    @property
+    def expanded_nbytes(self) -> int:
+        """Bytes the fully-materialized (non-dedup) KJT would carry.
+
+        Computed analytically from lengths — no expansion happens —
+        so bytes-decoded vs bytes-expanded savings are reportable
+        without paying for the expansion.
+        """
+        total = 0
+        offsets_nbytes = (self._batch_size + 1) * np.dtype(np.int64).itemsize
+        for jt in self._tensors.values():
+            expanded_values = int(jt.lengths[self._inverse_lookup].sum())
+            total += expanded_values * jt.values.itemsize + offsets_nbytes
+        return total
+
     def dedupe_factor(self, key: str | None = None) -> float:
         """Realized dedupe factor: original values length / dedup length.
 

@@ -137,11 +137,26 @@ def _build_profile(
             GridSpec(
                 name="fleet_scaling",
                 description=(
-                    "Reader-fleet scan throughput vs fleet width "
-                    "(the shared-tier sizing curve)"
+                    "Reader-fleet scan throughput vs fleet width x "
+                    "session-dedup transport (the shared-tier sizing "
+                    "curve and the dedup compounding wall)"
                 ),
-                base={**base, "workload.rm": "RM1", "toggles": "recd"},
-                axes={"reader.num_readers": list(widths)},
+                # O1+O2 layout only: duplicates are batch-local but the
+                # transport stays KJT, so the reader.dedup axis is a
+                # pure bit-identity A/B (same losses, fewer decoded
+                # bytes, smaller modeled wall at every width).
+                base={
+                    **base,
+                    "workload.rm": "RM1",
+                    "toggles": {
+                        "o1_shard_by_session": True,
+                        "o2_cluster_table": True,
+                    },
+                },
+                axes={
+                    "reader.num_readers": list(widths),
+                    "reader.dedup": [False, True],
+                },
             ),
             GridSpec(
                 name="single_node",

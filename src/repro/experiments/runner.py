@@ -73,6 +73,17 @@ def extract_metrics(result: PipelineResult, slo: SLOReport) -> dict:
         metrics["trainer_stall_fraction"] = (
             result.overlap.trainer_stall_fraction
         )
+        # bytes-read vs bytes-decoded vs bytes-expanded: the dedup
+        # transport savings the regression gate tracks
+        metrics["reader_bytes_read"] = float(result.overlap.read_bytes)
+        metrics["reader_bytes_decoded"] = float(
+            result.overlap.decoded_bytes
+        )
+        metrics["reader_bytes_expanded"] = float(
+            result.overlap.expanded_bytes
+        )
+        metrics["bytes_saved"] = float(result.overlap.bytes_saved)
+        metrics["dedupe_byte_factor"] = result.overlap.dedupe_byte_factor
     return metrics
 
 

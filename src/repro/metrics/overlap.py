@@ -50,6 +50,14 @@ class OverlapReport:
     #: whether batches streamed straight from the readers (True) or were
     #: materialized to a list first (the A/B baseline)
     streaming: bool = True
+    #: compressed bytes the readers pulled off storage
+    read_bytes: int = 0
+    #: preprocessed tensor bytes the readers decoded and shipped
+    #: (deduped batches ship IKJT slices, so this shrinks under dedup)
+    decoded_bytes: int = 0
+    #: what fully-materialized (non-dedup) batches would have carried;
+    #: equals ``decoded_bytes`` when no dedup groups are configured
+    expanded_bytes: int = 0
 
     @property
     def other_seconds(self) -> float:
@@ -84,6 +92,18 @@ class OverlapReport:
             return 0.0
         return self.other_seconds / self.wall_seconds
 
+    @property
+    def bytes_saved(self) -> int:
+        """Transport bytes dedup removed (expanded minus decoded)."""
+        return self.expanded_bytes - self.decoded_bytes
+
+    @property
+    def dedupe_byte_factor(self) -> float:
+        """Expanded / decoded byte ratio (1.0 with no dedup savings)."""
+        if self.decoded_bytes == 0:
+            return 1.0
+        return self.expanded_bytes / self.decoded_bytes
+
     def merge(self, other: "OverlapReport") -> None:
         """Fold another report's attribution in (round/epoch totals).
 
@@ -97,6 +117,9 @@ class OverlapReport:
         self.queue.merge(other.queue)
         self.batches += other.batches
         self.streaming = self.streaming and other.streaming
+        self.read_bytes += other.read_bytes
+        self.decoded_bytes += other.decoded_bytes
+        self.expanded_bytes += other.expanded_bytes
 
     @property
     def fractions(self) -> dict[str, float]:
@@ -118,6 +141,11 @@ class OverlapReport:
             "queue": self.queue.as_dict(),
             "batches": self.batches,
             "streaming": self.streaming,
+            "read_bytes": self.read_bytes,
+            "decoded_bytes": self.decoded_bytes,
+            "expanded_bytes": self.expanded_bytes,
+            "bytes_saved": self.bytes_saved,
+            "dedupe_byte_factor": self.dedupe_byte_factor,
         }
 
     @classmethod
@@ -127,6 +155,9 @@ class OverlapReport:
         trainer_busy_seconds: float,
         batches: int = 0,
         streaming: bool = True,
+        read_bytes: int = 0,
+        decoded_bytes: int = 0,
+        expanded_bytes: int = 0,
     ) -> "OverlapReport":
         """Build a *deterministic* report from modeled tier times.
 
@@ -150,6 +181,9 @@ class OverlapReport:
                 steps (summed ``iteration_seconds``).
             batches: batches the epoch trained (bookkeeping only).
             streaming: whether the run streamed (bookkeeping only).
+            read_bytes: compressed bytes read off storage.
+            decoded_bytes: decoded tensor bytes shipped to trainers.
+            expanded_bytes: what non-dedup batches would have carried.
 
         Returns:
             An :class:`OverlapReport` whose fractions sum to 1.
@@ -169,6 +203,9 @@ class OverlapReport:
             queue=queue,
             batches=batches,
             streaming=streaming,
+            read_bytes=read_bytes,
+            decoded_bytes=decoded_bytes,
+            expanded_bytes=expanded_bytes,
         )
 
     @classmethod
@@ -178,9 +215,19 @@ class OverlapReport:
         queue: QueueWaitBreakdown | None = None,
         wall_seconds: float | None = None,
         streaming: bool = True,
+        reader=None,
     ) -> "OverlapReport":
         """Build from a ``TrainingReport``'s measured ingestion-loop
-        timing plus the fleet's queue waits."""
+        timing plus the fleet's queue waits.
+
+        Args:
+            training: the trainer's ``TrainingReport``.
+            queue: the fleet's queue-wait breakdown.
+            wall_seconds: override the loop wall-clock.
+            reader: a merged :class:`~repro.reader.node.ReaderReport`;
+                when given, its read/decoded/expanded bytes carry into
+                the attribution.
+        """
         merged_queue = QueueWaitBreakdown()
         if queue is not None:
             merged_queue.merge(queue)
@@ -195,4 +242,9 @@ class OverlapReport:
             queue=merged_queue,
             batches=len(training.iterations),
             streaming=streaming,
+            read_bytes=reader.read_bytes if reader is not None else 0,
+            decoded_bytes=reader.send_bytes if reader is not None else 0,
+            expanded_bytes=(
+                reader.expanded_bytes if reader is not None else 0
+            ),
         )

@@ -48,6 +48,12 @@ class JobRoundStat:
         batches: batches the job trained this round.
         streaming: whether the job streamed batches into its consumer
             (False for materialize-first jobs; bookkeeping only).
+        read_bytes: compressed bytes the job's shards read off storage
+            this round.
+        decoded_bytes: decoded tensor bytes shipped to the job's
+            trainer this round (shrinks under ``ReaderSpec.dedup``).
+        expanded_bytes: what fully-materialized batches would have
+            carried (equals ``decoded_bytes`` without dedup).
     """
 
     job: str
@@ -56,6 +62,9 @@ class JobRoundStat:
     trainer_busy_seconds: float
     batches: int = 0
     streaming: bool = True
+    read_bytes: int = 0
+    decoded_bytes: int = 0
+    expanded_bytes: int = 0
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -88,6 +97,9 @@ class JobRoundStat:
             trainer_busy_seconds=self.trainer_busy_seconds,
             batches=self.batches,
             streaming=self.streaming,
+            read_bytes=self.read_bytes,
+            decoded_bytes=self.decoded_bytes,
+            expanded_bytes=self.expanded_bytes,
         )
 
 
@@ -141,6 +153,9 @@ class TierRound:
             ),
             batches=sum(s.batches for s in self.stats),
             streaming=all(s.streaming for s in self.stats),
+            read_bytes=sum(s.read_bytes for s in self.stats),
+            decoded_bytes=sum(s.decoded_bytes for s in self.stats),
+            expanded_bytes=sum(s.expanded_bytes for s in self.stats),
         )
 
 
@@ -254,6 +269,9 @@ class TierReport:
                         "reader_cpu_seconds": s.reader_cpu_seconds,
                         "trainer_busy_seconds": s.trainer_busy_seconds,
                         "batches": s.batches,
+                        "read_bytes": s.read_bytes,
+                        "decoded_bytes": s.decoded_bytes,
+                        "expanded_bytes": s.expanded_bytes,
                     }
                 )
             for name in rnd.skipped:
@@ -266,6 +284,9 @@ class TierReport:
                         "reader_cpu_seconds": 0.0,
                         "trainer_busy_seconds": 0.0,
                         "batches": 0,
+                        "read_bytes": 0,
+                        "decoded_bytes": 0,
+                        "expanded_bytes": 0,
                     }
                 )
         return rows

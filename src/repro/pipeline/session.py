@@ -355,7 +355,7 @@ def build_trainer(job: JobSpec | PipelineConfig) -> DistributedTrainer:
         DLRMConfig.from_workload(
             w, max_table_rows=job.train.max_table_rows, seed=job.data.seed
         ),
-        job.data.toggles.trainer_flags,
+        job.trainer_flags,
     )
     cluster = sim_cluster(
         num_gpus=job.train.num_gpus, gpus_per_node=job.train.gpus_per_node
@@ -563,6 +563,7 @@ class JobRuntime:
             queue=fleet.queue,
             wall_seconds=wall_seconds,
             streaming=self.spec.reader.streaming,
+            reader=fleet.merged,
         )
         return PipelineResult(
             config=self.spec.to_legacy(),

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field, fields, replace
 from ..datagen.workloads import RMWorkload
 from ..reader.config import DataLoaderConfig
 from ..reader.fleet import FleetFaults
+from ..trainer.sparse_arch import TrainerOptFlags
 from .config import PipelineConfig, RecDToggles
 
 __all__ = [
@@ -118,12 +119,22 @@ class ReaderSpec:
         streaming: stream batches straight into the trainer
             (overlapping decode with steps) instead of materializing
             each epoch first; both paths train bit-identically.
+        dedup: ship session-deduplicated IKJT batches over the
+            prefetch queues (the workload's dedup groups become
+            :class:`~repro.core.ikjt.InverseKeyedJaggedTensor`\\ s and
+            the trainer expands inverse indices *after* the pooled
+            embedding lookup).  Unlike ``DataSpec.toggles.o3_ikjt``
+            this flips *only* transport and compute — batch size and
+            data layout stay the non-dedup baseline's, which is what
+            makes a dedup-on/off pair a bit-identity A/B: losses are
+            identical, only bytes-decoded and modeled work shrink.
     """
 
     num_readers: int = 1
     prefetch_depth: int = 2
     executor: str = "auto"
     streaming: bool = True
+    dedup: bool = False
 
     def __post_init__(self) -> None:
         _require_positive("ReaderSpec.num_readers", self.num_readers)
@@ -427,10 +438,28 @@ class JobSpec:
             else w.baseline_batch_size
         )
 
+    @property
+    def trainer_flags(self) -> "TrainerOptFlags":
+        """The trainer-side (O5–O7) flags this job's trainer runs under.
+
+        ``ReaderSpec.dedup`` streams IKJT batches regardless of the O3
+        toggle, so it upgrades the trainer to the full dedup stack
+        (unique-row lookup, jagged index select, dedup compute) — the
+        expansion back to batch rows happens after the pooled lookup.
+        """
+        if self.reader.dedup:
+            return TrainerOptFlags.full()
+        return self.data.toggles.trainer_flags
+
     def dataloader_config(self) -> DataLoaderConfig:
-        """The job's DataLoader spec under the current toggles."""
+        """The job's DataLoader spec under the current toggles.
+
+        ``ReaderSpec.dedup`` also selects the dedup-group config — same
+        features, same batch size, IKJT transport — without touching
+        the O3 toggle's batch-size or layout implications.
+        """
         w = self.data.workload
-        if self.data.toggles.o3_ikjt:
+        if self.data.toggles.o3_ikjt or self.reader.dedup:
             plain = tuple(
                 f.name
                 for f in w.schema.sparse
@@ -544,8 +573,9 @@ class JobSpec:
         Exact inverse of :meth:`from_legacy` for every field the flat
         config can express; ``scaling=None``/``retention=None`` map to
         the flat defaults (``autoscale=False``,
-        ``retain_partitions=None``).  ``weight``, ``name``, and
-        ``track_updates`` have no flat-config home and are dropped.
+        ``retain_partitions=None``).  ``weight``, ``name``,
+        ``track_updates``, and ``reader.dedup`` have no flat-config
+        home and are dropped.
         """
         scaling = self.scaling or ScalingSpec()
         return PipelineConfig(

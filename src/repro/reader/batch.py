@@ -75,6 +75,26 @@ class Batch:
             )
         return total
 
+    @property
+    def expanded_nbytes(self) -> int:
+        """Bytes the fully-materialized (non-dedup) batch would carry.
+
+        Equals :attr:`wire_nbytes` for a batch with no IKJT groups; for
+        deduped batches the gap is the dedup transport saving
+        (``bytes-expanded - bytes-decoded`` in the fleet/tier reports).
+        Computed analytically — nothing is expanded.
+        """
+        total = int(self.dense.nbytes + self.labels.nbytes)
+        if self.kjt is not None:
+            total += self.kjt.nbytes
+        for ik in self.ikjts:
+            total += ik.expanded_nbytes
+        if self.partial is not None:
+            total += sum(
+                self.partial[k].nbytes for k in self.partial.keys
+            )
+        return total
+
     def to_kjt_only(self) -> "Batch":
         """Expand every (partial) IKJT back to a KJT
         (functional-equivalence tests)."""

@@ -31,6 +31,9 @@ class ReaderReport:
     batches: int = 0
     read_bytes: int = 0  # compressed, off Tectonic (Table 3 ingest)
     send_bytes: int = 0  # preprocessed tensors to trainers (Table 3 egress)
+    #: what fully-materialized (non-dedup) batches would have carried;
+    #: equals send_bytes when no dedup groups are configured
+    expanded_bytes: int = 0
 
     @property
     def samples_per_cpu_second(self) -> float:
@@ -38,6 +41,18 @@ class ReaderReport:
         if self.cpu.total == 0:
             return 0.0
         return self.samples / self.cpu.total
+
+    @property
+    def bytes_saved(self) -> int:
+        """Transport bytes dedup removed (expanded minus decoded)."""
+        return self.expanded_bytes - self.send_bytes
+
+    @property
+    def dedupe_byte_factor(self) -> float:
+        """Expanded / decoded byte ratio (1.0 with no dedup savings)."""
+        if self.send_bytes == 0:
+            return 1.0
+        return self.expanded_bytes / self.send_bytes
 
     def merge(self, other: "ReaderReport") -> None:
         """Fold another reader's measurements into this one (fleet/tier
@@ -47,6 +62,7 @@ class ReaderReport:
         self.batches += other.batches
         self.read_bytes += other.read_bytes
         self.send_bytes += other.send_bytes
+        self.expanded_bytes += other.expanded_bytes
 
     def as_dict(self) -> dict:
         """Serialize to a plain JSON-ready dict (the run-store form)."""
@@ -56,6 +72,9 @@ class ReaderReport:
             "batches": self.batches,
             "read_bytes": self.read_bytes,
             "send_bytes": self.send_bytes,
+            "expanded_bytes": self.expanded_bytes,
+            "bytes_saved": self.bytes_saved,
+            "dedupe_byte_factor": self.dedupe_byte_factor,
             "samples_per_cpu_second": self.samples_per_cpu_second,
         }
 
@@ -109,6 +128,7 @@ class ReaderNode:
             )
             rep.read_bytes += fill_stats.compressed_bytes
             rep.send_bytes += batch.wire_nbytes
+            rep.expanded_bytes += batch.expanded_nbytes
             rep.samples += batch.batch_size
             rep.batches += 1
             yield batch

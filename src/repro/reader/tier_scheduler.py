@@ -698,4 +698,7 @@ class SharedReaderTier:
             trainer_busy_seconds=busy,
             batches=merged.batches,
             streaming=job.streaming,
+            read_bytes=merged.read_bytes,
+            decoded_bytes=merged.send_bytes,
+            expanded_bytes=merged.expanded_bytes,
         )

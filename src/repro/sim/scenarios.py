@@ -8,6 +8,10 @@ names the shapes the paper's production tier actually weathers:
 * ``crash-resume`` — one worker crash plus a job preemption that
   checkpoints, sits out a round, and resumes (the CI chaos-smoke
   scenario).
+* ``dedup-crash-resume`` — the same fault shape with every job
+  streaming session-deduplicated IKJT batches (``ReaderSpec.dedup``),
+  proving the dedup hot path rides out crashes and preemptions
+  bit-identically.
 * ``stragglers`` — slow shards dilating rounds without changing
   batches.
 * ``churn`` — crashes, stragglers, a preemption, *and* a bursty
@@ -68,12 +72,15 @@ def _job(
     epochs: int = 4,
     sessions: int = 60,
     recd: bool = False,
+    dedup: bool = False,
 ) -> JobSpec:
     """A small, fast job spec for simulator scenarios.
 
     Simulator jobs always use the deterministic in-process executor —
     fault injection requires it — and tiny tables, so whole scenario
-    sweeps stay test-tier fast.
+    sweeps stay test-tier fast.  ``dedup=True`` makes the job's fleet
+    ship session-deduplicated IKJT batches (the streaming hot path)
+    without touching batch size or layout.
     """
     return JobSpec(
         data=DataSpec(
@@ -82,7 +89,7 @@ def _job(
             num_sessions=sessions,
             seed=seed,
         ),
-        reader=ReaderSpec(num_readers=2, executor="inprocess"),
+        reader=ReaderSpec(num_readers=2, executor="inprocess", dedup=dedup),
         train=TrainSpec(
             train_epochs=epochs, train_batches=2, batch_size=32
         ),
@@ -108,6 +115,43 @@ def _crash_resume(seed: int, scale: float) -> Scenario:
         description=(
             "worker crash + straggler + one preemption that checkpoints "
             "and resumes bit-identically"
+        ),
+        jobs=jobs,
+        plan=plan,
+    )
+
+
+def _dedup_crash_resume(seed: int, scale: float) -> Scenario:
+    """The crash-resume shape with dedup streaming on every job.
+
+    Both jobs ship session-deduplicated IKJT batches over the prefetch
+    queues while a worker crashes, a shard straggles, and one job is
+    preempted/checkpointed/resumed — the acceptance check that the
+    dedup hot path survives the full fault surface bit-identically.
+    """
+    jobs = (
+        (
+            "alpha",
+            _job(rm1(scale=scale), seed=seed + 1, epochs=4, dedup=True),
+        ),
+        (
+            "beta",
+            _job(rm2(scale=scale), seed=seed + 2, epochs=4, dedup=True),
+        ),
+    )
+    plan = FaultPlan(
+        crashes=(CrashFault(round=1, job="alpha", shard=0),),
+        stragglers=(
+            StragglerFault(round=2, job="beta", shard=1, factor=3.0),
+        ),
+        preemptions=(Preemption(round=2, job="alpha", resume_after=1),),
+        seed=seed,
+    )
+    return Scenario(
+        name="dedup-crash-resume",
+        description=(
+            "crash + straggler + preempt/resume with session-dedup "
+            "IKJT streaming on every job"
         ),
         jobs=jobs,
         plan=plan,
@@ -208,6 +252,7 @@ def _burst(seed: int, scale: float) -> Scenario:
 #: catalog: scenario name -> factory(seed, scale)
 SCENARIOS = {
     "crash-resume": _crash_resume,
+    "dedup-crash-resume": _dedup_crash_resume,
     "stragglers": _stragglers,
     "churn": _churn,
     "burst": _burst,

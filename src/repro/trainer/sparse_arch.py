@@ -146,7 +146,18 @@ class SparseFeature:
     # -- backward -----------------------------------------------------------
 
     def backward(self, dpooled: np.ndarray) -> None:
-        """Route pooled gradients back to the embedding table."""
+        """Route pooled gradients back to the embedding table.
+
+        The IKJT modes replay the baseline's *exact* accumulation
+        arithmetic: gradients are expanded to per-copy batch rows (a
+        pure gather — no float math) and accumulated per copy, exactly
+        as ``forward_kjt``'s backward would.  Folding per-copy grads
+        onto unique rows first would regroup float additions
+        (``w - lr*(g1+g2) != (w - lr*g1) - lr*g2``) and drift the loss
+        trajectory by ULPs after a few steps, breaking the repo's
+        bit-identity contract.  The *savings* stay modeled: counters
+        recorded in forward meter the deduplicated work.
+        """
         if self._acts is None:
             raise RuntimeError("backward before forward")
         acts, inverse = self._acts, self._inverse
@@ -154,42 +165,49 @@ class SparseFeature:
             dacts = self.pooling.backward(dpooled)
             self.table.accumulate_grad(acts.ids, dacts)
             return
+        src, batch_offsets = _expansion_src(acts.offsets, inverse)
+        batch_ids = acts.ids[src]
         if self._mode == "dedup":
-            # expansion backward: accumulate batch-row grads per unique row
-            d_unique = np.zeros((acts.num_rows, dpooled.shape[1]))
-            np.add.at(d_unique, inverse, dpooled)
-            dacts = self.pooling.backward(d_unique)
-            self.table.accumulate_grad(acts.ids, dacts)
-            return
-        # "expanded": pooling ran on batch rows; fold per-copy gradients
-        # back onto the unique activations, then to the table.
-        d_batch_values = self.pooling.backward(dpooled)
-        d_unique_values = np.zeros_like(acts.values)
-        unique_lengths = np.diff(acts.offsets)
-        sel = unique_lengths[inverse]
-        src_rows = np.repeat(acts.offsets[:-1][inverse], sel) + (
-            np.arange(int(sel.sum())) - np.repeat(
-                np.concatenate([[0], np.cumsum(sel)[:-1]]), sel
+            # pooling ran on unique rows; rebuild the batch-shaped cache
+            # (also makes pooling-param grads baseline-exact)
+            batch_acts = EmbeddingActivations(
+                acts.values[src], batch_offsets, batch_ids
             )
-        )
-        np.add.at(d_unique_values, src_rows, d_batch_values)
-        self.table.accumulate_grad(acts.ids, d_unique_values)
+            self.pooling.forward(batch_acts)
+        # "expanded" mode pooled batch rows already; its cache is live
+        d_batch_values = self.pooling.backward(dpooled)
+        self.table.accumulate_grad(batch_ids, d_batch_values)
 
     def params(self) -> list[Parameter]:
         return self.pooling.params()
+
+
+def _expansion_src(
+    offsets: np.ndarray, inverse: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat source indices expanding unique jagged rows to batch order.
+
+    Returns ``(src, batch_offsets)`` such that ``values[src]`` is the
+    fully-materialized batch layout and ``batch_offsets`` delimits its
+    rows — the exact inverse of dedup, as a gather.
+    """
+    lengths = np.diff(offsets)
+    sel = lengths[inverse]
+    batch_offsets = np.zeros(inverse.size + 1, dtype=np.int64)
+    np.cumsum(sel, out=batch_offsets[1:])
+    total = int(batch_offsets[-1])
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        batch_offsets[:-1], sel
+    )
+    src = np.repeat(offsets[:-1][inverse], sel) + within
+    return src, batch_offsets
 
 
 def _expand_activations_jagged(
     acts: EmbeddingActivations, inverse: np.ndarray
 ) -> tuple[np.ndarray, np.ndarray]:
     """Gather unique activation rows into batch order (O6 path, 2-D)."""
-    lengths = np.diff(acts.offsets)
-    sel = lengths[inverse]
-    offsets = np.zeros(inverse.size + 1, dtype=np.int64)
-    np.cumsum(sel, out=offsets[1:])
-    total = int(offsets[-1])
-    within = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], sel)
-    src = np.repeat(acts.offsets[:-1][inverse], sel) + within
+    src, offsets = _expansion_src(acts.offsets, inverse)
     return acts.values[src], offsets
 
 

@@ -76,9 +76,76 @@ class TestCrashResumeAcceptance:
         assert slo.p99_wall_seconds >= slo.p50_wall_seconds > 0.0
 
 
+@pytest.fixture(scope="module")
+def dedup_crash_resume():
+    """One dedup-streaming crash-resume run, its clean dedup baseline,
+    and a seeded replay."""
+    scenario = build_scenario("dedup-crash-resume", seed=SEED, scale=SCALE)
+    runner = scenario.runner()
+    result = runner.run()
+    baseline = runner.baseline()
+    replay = scenario.runner().run()
+    return scenario, result, baseline, replay
+
+
+class TestDedupCrashResumeAcceptance:
+    """Satellite: crash+resume with the dedup hot path enabled must be
+    as bit-reproducible as the non-dedup scenario."""
+
+    def test_every_job_streams_dedup(self, dedup_crash_resume):
+        scenario, _, _, _ = dedup_crash_resume
+        assert all(spec.reader.dedup for _, spec in scenario.jobs)
+
+    def test_losses_bit_identical_to_uninterrupted_dedup_run(
+        self, dedup_crash_resume
+    ):
+        scenario, result, baseline, _ = dedup_crash_resume
+        assert sorted(result.losses) == sorted(baseline)
+        for name, spec in scenario.jobs:
+            expected = spec.train.train_epochs * spec.train.train_batches
+            assert len(result.losses[name]) == expected
+            # Float-for-float equality, not approx.
+            assert result.losses[name] == baseline[name]
+
+    def test_replay_reproduces_identical_fingerprint(
+        self, dedup_crash_resume
+    ):
+        _, result, _, replay = dedup_crash_resume
+        assert replay.fingerprint() == result.fingerprint()
+
+    def test_preempt_resume_cycle_fired(self, dedup_crash_resume):
+        _, result, _, _ = dedup_crash_resume
+        events = [ev["event"] for ev in result.trace]
+        assert "fleet_faults" in events
+        assert "preempt" in events
+        assert "resume" in events
+
+    def test_cli_verify_passes(self):
+        from repro.cli import main
+
+        assert main(
+            [
+                "simulate",
+                "--scenario",
+                "dedup-crash-resume",
+                "--seed",
+                str(SEED),
+                "--scale",
+                str(SCALE),
+                "--verify",
+            ]
+        ) == 0
+
+
 class TestCatalog:
     def test_names_are_sorted_and_complete(self):
-        assert scenario_names() == ["burst", "churn", "crash-resume", "stragglers"]
+        assert scenario_names() == [
+            "burst",
+            "churn",
+            "crash-resume",
+            "dedup-crash-resume",
+            "stragglers",
+        ]
 
     def test_unknown_scenario_raises(self):
         with pytest.raises(KeyError, match="unknown scenario 'nope'"):
