@@ -114,6 +114,125 @@ def test_fleet_scaling(benchmark, emit):
     assert speedups[4] >= 1.5
 
 
+def test_wide_transport_bend(benchmark, emit):
+    """Wide async fleets x batch transport: where scaling bends and why.
+
+    The async coroutine executor runs widths {8, 16, 32, 64} over the
+    landed RM1 partition in one process, bit-identically to the other
+    executors.  Decode parallelizes with width, but under the ``copy``
+    transport every batch still pays a serial serialize/copy handoff at
+    the consumer, so delivered wall-clock floors at the fleet's total
+    transport wait (``queue.transport``) — the Amdahl bend.  The ``shm``
+    transport charges nothing, so its delivered wall keeps tracking the
+    modeled decode wall all the way out.  The gate names the bend's
+    component: at width 64 the copy fleet's delivered wall *is* its
+    transport wait, and shm strictly beats copy at every width.
+    """
+    w, table = _landed_rm1_table()
+    from repro.reader import DataLoaderConfig
+
+    cfg = DataLoaderConfig(
+        batch_size=64,
+        sparse_features=tuple(w.schema.sparse_names),
+        dense_features=tuple(w.schema.dense_names),
+        transforms=("hash_modulo",),
+    )
+    widths = (8, 16, 32, 64)
+
+    def run_all():
+        out = {}
+        for transport in ("copy", "shm"):
+            out[transport] = {}
+            for n in widths:
+                fleet = ReaderFleet(
+                    n, cfg, executor="async", transport=transport
+                )
+                fleet.run(table, "p0")
+                out[transport][n] = fleet.report
+        return out
+
+    res = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    lines = []
+    metrics = {}
+    for transport in ("copy", "shm"):
+        for n in widths:
+            rep = res[transport][n]
+            delivered = rep.modeled_delivered_wall_seconds
+            lines.append(
+                f"{transport:4s} x{n:2d}: decode wall "
+                f"{rep.modeled_wall_seconds * 1e3:6.2f} ms, transport "
+                f"wait {rep.queue.transport * 1e3:6.2f} ms, delivered "
+                f"wall {delivered * 1e3:6.2f} ms "
+                f"({rep.modeled_delivered_samples_per_second:,.0f} "
+                "samples/s)"
+            )
+            key = f"{transport}[{n}]"
+            metrics[f"{key}.modeled_wall_seconds"] = (
+                rep.modeled_wall_seconds
+            )
+            metrics[f"{key}.transport_wait_seconds"] = rep.queue.transport
+            metrics[f"{key}.delivered_wall_seconds"] = delivered
+            metrics[f"{key}.delivered_samples_per_second"] = (
+                rep.modeled_delivered_samples_per_second
+            )
+    emit(
+        "Wide async fleets x transport (the copy handoff bend)",
+        lines,
+        metrics=metrics,
+    )
+
+    batches = res["copy"][widths[0]].merged.batches
+    for transport in ("copy", "shm"):
+        for n in widths:
+            rep = res[transport][n]
+            # every configuration scans the identical batch stream
+            assert rep.merged.batches == batches
+            assert rep.executor_used == "async"
+            # shm strictly reduces the modeled per-batch overhead vs
+            # copy at every width: zero transport charge vs a positive
+            # one on the identical stream
+            if transport == "shm":
+                assert rep.queue.transport == 0.0
+                assert (
+                    rep.modeled_delivered_wall_seconds
+                    == rep.modeled_wall_seconds
+                )
+            else:
+                assert rep.queue.transport > 0.0
+                assert (
+                    rep.modeled_delivered_wall_seconds
+                    <= res["copy"][widths[0]].modeled_delivered_wall_seconds
+                )
+    for n in widths:
+        # ...so shm's delivered wall never trails copy's, and beats it
+        # strictly once copy goes transport-bound
+        assert (
+            res["shm"][n].modeled_delivered_wall_seconds
+            <= res["copy"][n].modeled_delivered_wall_seconds
+        )
+        if res["copy"][n].queue.transport > (
+            res["copy"][n].modeled_wall_seconds
+        ):
+            assert (
+                res["shm"][n].modeled_delivered_wall_seconds
+                < res["copy"][n].modeled_delivered_wall_seconds
+            )
+    # decode itself keeps scaling: the width-64 decode wall beats width-8
+    assert (
+        res["shm"][64].modeled_delivered_wall_seconds
+        < res["shm"][8].modeled_delivered_wall_seconds
+    )
+    # the bend, attributed: by width 64 the copy fleet is transport-bound
+    # — its delivered wall IS the serial copy handoff (queue.transport),
+    # no longer the (parallel) decode wall
+    wide_copy = res["copy"][64]
+    assert wide_copy.modeled_delivered_wall_seconds == (
+        wide_copy.queue.transport
+    )
+    assert wide_copy.queue.transport > wide_copy.modeled_wall_seconds
+
+
 def _dedup_job(dedup: bool, width: int) -> JobSpec:
     return JobSpec(
         data=DataSpec(

@@ -223,6 +223,7 @@ def _spec_from_args(
             num_readers=1 if shared else args.num_readers,
             prefetch_depth=args.prefetch_depth,
             executor=args.reader_executor,
+            transport=args.transport,
             streaming=args.streaming,
             dedup=dedup,
         ),
@@ -269,6 +270,15 @@ def _cmd_pipeline(args) -> int:
             f"put {fleet.queue.put_wait * 1e3:.1f} ms / "
             f"get {fleet.queue.get_wait * 1e3:.1f} ms"
         )
+        merged = fleet.merged
+        if merged.bytes_copied or merged.copies_avoided:
+            print(
+                f"  transport           : "
+                f"copied {merged.bytes_copied:,} B / "
+                f"avoided {merged.copies_avoided:,} B, transport wait "
+                f"{fleet.queue.transport * 1e3:.1f} ms, delivered wall "
+                f"{fleet.modeled_delivered_wall_seconds * 1e3:.1f} ms"
+            )
     ov = res.overlap
     if ov is not None:
         mode = "streaming" if ov.streaming else "materialized"
@@ -637,10 +647,17 @@ def _add_reader_args(p, *, shared: bool) -> None:
     g.add_argument("--prefetch-depth", type=int, default=2,
                    help="bounded prefetch per reader worker")
     g.add_argument("--reader-executor",
-                   choices=("auto", "process", "inprocess"),
+                   choices=("auto", "process", "inprocess", "async"),
                    default="auto",
                    help="fleet executor (batch stream is bit-identical "
-                        "for all three)")
+                        "for all of them; async interleaves every shard "
+                        "worker deterministically, so wide fleets run "
+                        "fast)")
+    g.add_argument("--transport", choices=("copy", "shm"), default="copy",
+                   help="batch transport across the worker->trainer "
+                        "boundary: copy charges a modeled per-batch "
+                        "serialize cost, shm models the zero-copy "
+                        "handoff (stream stays bit-identical)")
     g.add_argument("--streaming",
                    action=argparse.BooleanOptionalAction,
                    default=True,

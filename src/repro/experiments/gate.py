@@ -52,6 +52,9 @@ GATED_METRICS = (
     "scribe_compression",
     "goodput_batches_per_second",
     "fleet_modeled_samples_per_second",
+    # the transport-floored delivery throughput: where the copy
+    # transport's serial per-batch handoff bends wide-fleet scaling
+    "fleet_delivered_samples_per_second",
     # bytes-savings: expanded/decoded — 1.0 without dedup, > 1 with the
     # dedup hot path on; a drop means the transport savings regressed
     "dedupe_byte_factor",

@@ -92,6 +92,42 @@ class Profile:
         )
 
 
+def _wide_points(
+    wide_widths: tuple, wide_batch_size: int
+) -> tuple[dict, ...]:
+    """The fleet_scaling grid's wide-width include points.
+
+    Wide fleets need many batches (an epoch never plans more shards
+    than batches), so these points shrink the batch size and lift the
+    per-epoch batch cap; the async executor runs them in tier-1 time.
+    The widest width also carries a dedup pair — shm+dedup is the
+    compounding configuration the tentpole benchmark headlines.
+    """
+    points = [
+        {
+            "label": f"wide-{w}-{transport}",
+            "reader.num_readers": w,
+            "reader.transport": transport,
+            "train.batch_size": wide_batch_size,
+            "train.train_batches": None,
+        }
+        for w in wide_widths
+        for transport in ("copy", "shm")
+    ]
+    points += [
+        {
+            "label": f"wide-{max(wide_widths)}-{transport}-dedup",
+            "reader.num_readers": max(wide_widths),
+            "reader.dedup": True,
+            "reader.transport": transport,
+            "train.batch_size": wide_batch_size,
+            "train.train_batches": None,
+        }
+        for transport in ("copy", "shm")
+    ]
+    return tuple(points)
+
+
 def _build_profile(
     name: str,
     description: str,
@@ -99,6 +135,8 @@ def _build_profile(
     scale: float,
     sessions: int,
     widths: tuple,
+    wide_widths: tuple,
+    wide_batch_size: int,
 ) -> Profile:
     """The shared experiment set at one size (see module docstring)."""
     base = {
@@ -138,16 +176,21 @@ def _build_profile(
                 name="fleet_scaling",
                 description=(
                     "Reader-fleet scan throughput vs fleet width x "
-                    "session-dedup transport (the shared-tier sizing "
-                    "curve and the dedup compounding wall)"
+                    "session-dedup x batch transport (the shared-tier "
+                    "sizing curve, the dedup compounding wall, and the "
+                    "copy-vs-shm handoff bend at wide widths)"
                 ),
                 # O1+O2 layout only: duplicates are batch-local but the
                 # transport stays KJT, so the reader.dedup axis is a
                 # pure bit-identity A/B (same losses, fewer decoded
-                # bytes, smaller modeled wall at every width).
+                # bytes, smaller modeled wall at every width).  The
+                # async executor keeps the whole grid — wide include
+                # points most of all — deterministic and CI-fast; its
+                # batch stream is bit-identical to the other executors.
                 base={
                     **base,
                     "workload.rm": "RM1",
+                    "reader.executor": "async",
                     "toggles": {
                         "o1_shard_by_session": True,
                         "o2_cluster_table": True,
@@ -156,7 +199,9 @@ def _build_profile(
                 axes={
                     "reader.num_readers": list(widths),
                     "reader.dedup": [False, True],
+                    "reader.transport": ["copy", "shm"],
                 },
+                include=_wide_points(wide_widths, wide_batch_size),
             ),
             GridSpec(
                 name="single_node",
@@ -184,6 +229,8 @@ PROFILES = {
         scale=0.25,
         sessions=120,
         widths=(1, 2, 4),
+        wide_widths=(16, 64),
+        wide_batch_size=24,
     ),
     "paper": _build_profile(
         "paper",
@@ -191,6 +238,8 @@ PROFILES = {
         scale=0.5,
         sessions=250,
         widths=(1, 2, 4, 8),
+        wide_widths=(16, 32, 64),
+        wide_batch_size=48,
     ),
 }
 

@@ -66,6 +66,15 @@ def extract_metrics(result: PipelineResult, slo: SLOReport) -> dict:
         metrics["fleet_modeled_wall_seconds"] = (
             result.fleet.modeled_wall_seconds
         )
+        # the transport-floored delivery view: where wide-fleet scaling
+        # bends under the copy transport (equals the modeled wall under
+        # shm, whose transport charge is zero)
+        metrics["fleet_delivered_samples_per_second"] = (
+            result.fleet.modeled_delivered_samples_per_second
+        )
+        metrics["fleet_transport_wait_seconds"] = (
+            result.fleet.queue.transport
+        )
     if result.overlap is not None:
         metrics["reader_stall_fraction"] = (
             result.overlap.reader_stall_fraction
@@ -84,6 +93,13 @@ def extract_metrics(result: PipelineResult, slo: SLOReport) -> dict:
         )
         metrics["bytes_saved"] = float(result.overlap.bytes_saved)
         metrics["dedupe_byte_factor"] = result.overlap.dedupe_byte_factor
+        # copy-vs-shm transport accounting (exactly one is non-zero)
+        metrics["reader_bytes_copied"] = float(
+            result.overlap.bytes_copied
+        )
+        metrics["reader_copies_avoided"] = float(
+            result.overlap.copies_avoided
+        )
     return metrics
 
 

@@ -65,27 +65,49 @@ class QueueWaitBreakdown:
     specifically "the consumer is slow".  ``get_wait`` is unambiguous
     consumer-side starvation: the merge loop waited for the next batch,
     so the readers are the bottleneck — the §2.1 under-provisioning
-    signal the reader tier is sized to eliminate.
+    signal the reader tier is sized to eliminate.  ``transport`` is the
+    modeled per-batch handoff cost at the worker→trainer boundary:
+    serialize/copy seconds charged by the ``copy`` transport (zero under
+    ``shm``) — the serial consumer-side term that bends wide-fleet
+    scaling once decode is sharded far enough.
     """
 
     put_wait: float = 0.0
     get_wait: float = 0.0
+    transport: float = 0.0
 
     @property
     def total(self) -> float:
-        """Summed queue-blocked wall-clock, both sides."""
-        return self.put_wait + self.get_wait
+        """Summed queue-blocked wall-clock: both sides plus transport."""
+        return self.put_wait + self.get_wait + self.transport
 
     def merge(self, other: "QueueWaitBreakdown") -> None:
         """Fold another run's queue waits in (epoch aggregation)."""
         self.put_wait += other.put_wait
         self.get_wait += other.get_wait
+        self.transport += other.transport
+
+    def fractions(self) -> dict[str, float]:
+        """Each component as a fraction of :attr:`total`.
+
+        Fractions are in [0, 1] and sum to 1 whenever any wait was
+        recorded; an all-zero breakdown returns all-zero fractions.
+        """
+        denom = self.total
+        if denom <= 0.0:
+            return {"put_wait": 0.0, "get_wait": 0.0, "transport": 0.0}
+        return {
+            "put_wait": self.put_wait / denom,
+            "get_wait": self.get_wait / denom,
+            "transport": self.transport / denom,
+        }
 
     def as_dict(self) -> dict:
         """Serialize to a plain JSON-ready dict (the run-store form)."""
         return {
             "put_wait": self.put_wait,
             "get_wait": self.get_wait,
+            "transport": self.transport,
             "total": self.total,
         }
 

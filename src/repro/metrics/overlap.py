@@ -58,6 +58,12 @@ class OverlapReport:
     #: what fully-materialized (non-dedup) batches would have carried;
     #: equals ``decoded_bytes`` when no dedup groups are configured
     expanded_bytes: int = 0
+    #: wire bytes the ``copy`` transport serialized through the
+    #: worker→trainer queues (zero under ``shm``)
+    bytes_copied: int = 0
+    #: wire bytes the ``shm`` transport handed over without a copy
+    #: (zero under ``copy``)
+    copies_avoided: int = 0
 
     @property
     def other_seconds(self) -> float:
@@ -120,6 +126,8 @@ class OverlapReport:
         self.read_bytes += other.read_bytes
         self.decoded_bytes += other.decoded_bytes
         self.expanded_bytes += other.expanded_bytes
+        self.bytes_copied += other.bytes_copied
+        self.copies_avoided += other.copies_avoided
 
     @property
     def fractions(self) -> dict[str, float]:
@@ -144,6 +152,8 @@ class OverlapReport:
             "read_bytes": self.read_bytes,
             "decoded_bytes": self.decoded_bytes,
             "expanded_bytes": self.expanded_bytes,
+            "bytes_copied": self.bytes_copied,
+            "copies_avoided": self.copies_avoided,
             "bytes_saved": self.bytes_saved,
             "dedupe_byte_factor": self.dedupe_byte_factor,
         }
@@ -158,6 +168,8 @@ class OverlapReport:
         read_bytes: int = 0,
         decoded_bytes: int = 0,
         expanded_bytes: int = 0,
+        bytes_copied: int = 0,
+        copies_avoided: int = 0,
     ) -> "OverlapReport":
         """Build a *deterministic* report from modeled tier times.
 
@@ -184,6 +196,8 @@ class OverlapReport:
             read_bytes: compressed bytes read off storage.
             decoded_bytes: decoded tensor bytes shipped to trainers.
             expanded_bytes: what non-dedup batches would have carried.
+            bytes_copied: wire bytes the copy transport serialized.
+            copies_avoided: wire bytes the shm transport skipped.
 
         Returns:
             An :class:`OverlapReport` whose fractions sum to 1.
@@ -206,6 +220,8 @@ class OverlapReport:
             read_bytes=read_bytes,
             decoded_bytes=decoded_bytes,
             expanded_bytes=expanded_bytes,
+            bytes_copied=bytes_copied,
+            copies_avoided=copies_avoided,
         )
 
     @classmethod
@@ -246,5 +262,9 @@ class OverlapReport:
             decoded_bytes=reader.send_bytes if reader is not None else 0,
             expanded_bytes=(
                 reader.expanded_bytes if reader is not None else 0
+            ),
+            bytes_copied=reader.bytes_copied if reader is not None else 0,
+            copies_avoided=(
+                reader.copies_avoided if reader is not None else 0
             ),
         )

@@ -54,6 +54,10 @@ class JobRoundStat:
             trainer this round (shrinks under ``ReaderSpec.dedup``).
         expanded_bytes: what fully-materialized batches would have
             carried (equals ``decoded_bytes`` without dedup).
+        bytes_copied: wire bytes the job's ``copy`` transport
+            serialized through the worker→trainer queues this round.
+        copies_avoided: wire bytes the job's ``shm`` transport handed
+            over without a copy this round.
     """
 
     job: str
@@ -65,6 +69,8 @@ class JobRoundStat:
     read_bytes: int = 0
     decoded_bytes: int = 0
     expanded_bytes: int = 0
+    bytes_copied: int = 0
+    copies_avoided: int = 0
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -100,6 +106,8 @@ class JobRoundStat:
             read_bytes=self.read_bytes,
             decoded_bytes=self.decoded_bytes,
             expanded_bytes=self.expanded_bytes,
+            bytes_copied=self.bytes_copied,
+            copies_avoided=self.copies_avoided,
         )
 
 
@@ -156,6 +164,8 @@ class TierRound:
             read_bytes=sum(s.read_bytes for s in self.stats),
             decoded_bytes=sum(s.decoded_bytes for s in self.stats),
             expanded_bytes=sum(s.expanded_bytes for s in self.stats),
+            bytes_copied=sum(s.bytes_copied for s in self.stats),
+            copies_avoided=sum(s.copies_avoided for s in self.stats),
         )
 
 
@@ -272,6 +282,8 @@ class TierReport:
                         "read_bytes": s.read_bytes,
                         "decoded_bytes": s.decoded_bytes,
                         "expanded_bytes": s.expanded_bytes,
+                        "bytes_copied": s.bytes_copied,
+                        "copies_avoided": s.copies_avoided,
                     }
                 )
             for name in rnd.skipped:
@@ -287,6 +299,8 @@ class TierReport:
                         "read_bytes": 0,
                         "decoded_bytes": 0,
                         "expanded_bytes": 0,
+                        "bytes_copied": 0,
+                        "copies_avoided": 0,
                     }
                 )
         return rows

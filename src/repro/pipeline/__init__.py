@@ -58,6 +58,7 @@ from .spec import (
     RetentionSpec,
     ScalingSpec,
     TrainSpec,
+    TransportSpec,
 )
 
 __all__ = [
@@ -70,6 +71,7 @@ __all__ = [
     "RetentionSpec",
     "CheckpointSpec",
     "FaultSpec",
+    "TransportSpec",
     "JobSpec",
     "JobRuntime",
     "Session",

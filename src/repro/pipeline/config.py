@@ -128,8 +128,9 @@ class PipelineConfig:
     retain_partitions: int | None = None
     #: which fleet executor scans shards: ``"process"`` (real
     #: multiprocessing workers), ``"inprocess"`` (deterministic serial
-    #: fallback — what tests pin), or ``"auto"`` (pick per platform);
-    #: the batch stream is bit-identical for all three
+    #: fallback — what tests pin), ``"async"`` (deterministic coroutine
+    #: scheduler with modeled queue waits), or ``"auto"`` (pick per
+    #: platform); the batch stream is bit-identical for all of them
     reader_executor: str = "auto"
 
     def __post_init__(self) -> None:
@@ -156,10 +157,15 @@ class PipelineConfig:
                 "retain_partitions must be positive when set, got "
                 f"{self.retain_partitions}"
             )
-        if self.reader_executor not in ("auto", "process", "inprocess"):
+        if self.reader_executor not in (
+            "auto",
+            "process",
+            "inprocess",
+            "async",
+        ):
             raise ValueError(
-                "reader_executor must be 'auto', 'process' or "
-                f"'inprocess', got {self.reader_executor!r}"
+                "reader_executor must be 'auto', 'process', 'inprocess' "
+                f"or 'async', got {self.reader_executor!r}"
             )
 
     @property

@@ -504,6 +504,7 @@ class JobRuntime:
             consume=consume,
             prefetch_depth=spec.reader.prefetch_depth,
             executor=spec.reader.executor,
+            transport=spec.reader.transport,
             streaming=spec.reader.streaming,
             weight=spec.weight,
             prepare=prepare,

@@ -41,6 +41,7 @@ from dataclasses import dataclass, field, fields, replace
 
 from ..datagen.workloads import RMWorkload
 from ..reader.config import DataLoaderConfig
+from ..reader.costmodel import TransportSpec
 from ..reader.fleet import FleetFaults
 from ..trainer.sparse_arch import TrainerOptFlags
 from .config import PipelineConfig, RecDToggles
@@ -48,6 +49,7 @@ from .config import PipelineConfig, RecDToggles
 __all__ = [
     "DataSpec",
     "ReaderSpec",
+    "TransportSpec",
     "TrainSpec",
     "ScalingSpec",
     "RetentionSpec",
@@ -57,7 +59,7 @@ __all__ = [
 ]
 
 #: fleet executors a ReaderSpec may name
-EXECUTORS = ("auto", "process", "inprocess")
+EXECUTORS = ("auto", "process", "inprocess", "async")
 
 
 def _require_positive(where: str, value) -> None:
@@ -113,9 +115,16 @@ class ReaderSpec:
         prefetch_depth: bounded prefetch per reader worker (2 = double
             buffering).
         executor: ``"process"`` (real multiprocessing workers),
-            ``"inprocess"`` (deterministic serial fallback), or
-            ``"auto"``; the batch stream is bit-identical for all
-            three.
+            ``"inprocess"`` (deterministic serial fallback), ``"async"``
+            (deterministic coroutine scheduler — modeled queue waits,
+            wide widths in tier-1 time), or ``"auto"``; the batch
+            stream is bit-identical for all of them.
+        transport: how batches cross the worker→trainer boundary —
+            ``"copy"`` (modeled per-batch serialize cost,
+            ``bytes_copied``) or ``"shm"`` (zero-copy,
+            ``copies_avoided``); a mode string coerces to a
+            :class:`~repro.reader.costmodel.TransportSpec`.  Pure
+            cost-model A/B: the stream is bit-identical either way.
         streaming: stream batches straight into the trainer
             (overlapping decode with steps) instead of materializing
             each epoch first; both paths train bit-identically.
@@ -133,6 +142,7 @@ class ReaderSpec:
     num_readers: int = 1
     prefetch_depth: int = 2
     executor: str = "auto"
+    transport: TransportSpec | str = field(default_factory=TransportSpec)
     streaming: bool = True
     dedup: bool = False
 
@@ -144,6 +154,11 @@ class ReaderSpec:
                 f"ReaderSpec.executor must be one of {EXECUTORS}, "
                 f"got {self.executor!r}"
             )
+        # a grid/CLI-provided mode string becomes a real TransportSpec
+        # (frozen dataclass, hence the object.__setattr__)
+        object.__setattr__(
+            self, "transport", TransportSpec.coerce(self.transport)
+        )
 
 
 @dataclass(frozen=True)
@@ -282,9 +297,10 @@ class FaultSpec:
     positions crash (the respawned worker re-scans, charging wasted
     CPU) or straggle (scaled CPU cost) during named epochs of *this
     job's* plan.  Faults only perturb the modeled cost surface — batch
-    content and losses stay bit-identical — and they force the
-    deterministic in-process executor, so a seeded faulty run is as
-    replayable as a clean one.
+    content and losses stay bit-identical — and they run on a
+    deterministic executor (async when the reader asks for it,
+    in-process otherwise), so a seeded faulty run is as replayable as a
+    clean one.
 
     Attributes:
         crashes: epoch index → shard positions (modulo the epoch's
@@ -409,8 +425,8 @@ class JobSpec:
             )
         if self.faults is not None and self.reader.executor == "process":
             raise ValueError(
-                "FaultSpec needs the deterministic in-process executor; "
-                'set ReaderSpec.executor to "auto" or "inprocess"'
+                "FaultSpec needs a deterministic executor; set "
+                'ReaderSpec.executor to "auto", "inprocess", or "async"'
             )
         if (
             self.scaling is not None
@@ -574,8 +590,8 @@ class JobSpec:
         config can express; ``scaling=None``/``retention=None`` map to
         the flat defaults (``autoscale=False``,
         ``retain_partitions=None``).  ``weight``, ``name``,
-        ``track_updates``, and ``reader.dedup`` have no flat-config
-        home and are dropped.
+        ``track_updates``, ``reader.dedup``, and ``reader.transport``
+        have no flat-config home and are dropped.
         """
         scaling = self.scaling or ScalingSpec()
         return PipelineConfig(
@@ -614,6 +630,7 @@ def spec_field_names() -> dict[str, list[str]]:
         for cls in (
             DataSpec,
             ReaderSpec,
+            TransportSpec,
             TrainSpec,
             ScalingSpec,
             RetentionSpec,

@@ -62,7 +62,12 @@ class Batch:
 
         IKJT inverse_lookups *do* travel on this hop (each trainer needs
         them to expand its local batch); the SDD hop later keeps them
-        local (§5).
+        local (§5).  This is also the byte count the transport model
+        charges: under the ``copy`` transport every wire byte pays the
+        modeled serialize/copy cost
+        (:meth:`~repro.reader.costmodel.ReaderCostModel.transport_seconds`)
+        and lands in ``bytes_copied``; under ``shm`` the same count is
+        recorded as ``copies_avoided``.
         """
         total = int(self.dense.nbytes + self.labels.nbytes)
         if self.kjt is not None:

@@ -23,7 +23,52 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["ReaderCostModel"]
+__all__ = ["ReaderCostModel", "TransportSpec", "TRANSPORT_MODES"]
+
+#: the batch-transport modes a fleet can hand batches over with
+TRANSPORT_MODES = ("copy", "shm")
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """How batches cross the worker→trainer boundary.
+
+    ``copy`` (the default, and what the ``process`` executor actually
+    does) serializes every batch through the prefetch queue, so the
+    consumer pays a modeled per-batch + per-byte handoff cost
+    (:meth:`ReaderCostModel.transport_seconds`) and every wire byte
+    counts as ``bytes_copied``.  ``shm`` models a shared-memory /
+    zero-copy handoff: the same wire bytes count as ``copies_avoided``
+    and the transport charge is zero.  The batch *stream* is
+    bit-identical either way — only the accounting differs, which is
+    what makes shm-vs-copy a pure A/B on the cost model.
+    """
+
+    mode: str = "copy"
+
+    def __post_init__(self) -> None:
+        if self.mode not in TRANSPORT_MODES:
+            raise ValueError(
+                f"transport mode must be one of {TRANSPORT_MODES}, "
+                f"got {self.mode!r}"
+            )
+
+    @property
+    def charges(self) -> bool:
+        """Whether this transport pays the serialize/copy cost."""
+        return self.mode == "copy"
+
+    @classmethod
+    def coerce(cls, value: "TransportSpec | str") -> "TransportSpec":
+        """Accept a mode string (grid/CLI-friendly) or a spec as-is."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(mode=value)
+        raise TypeError(
+            f"transport must be a TransportSpec or mode string, "
+            f"got {type(value).__name__}"
+        )
 
 
 @dataclass(frozen=True)
@@ -45,6 +90,14 @@ class ReaderCostModel:
     process_per_value: float = 150e-9
     # process: per-row fixed overhead (TorchScript dispatch etc.)
     process_per_row: float = 40e-9
+    # transport (copy mode only): serializing one wire byte through the
+    # worker->trainer prefetch queue.  Deliberately cheap per byte —
+    # the copy is memcpy-speed — but it is *serial at the consumer*, so
+    # it is the term that floors wide-fleet scaling.
+    transport_copy_per_byte: float = 4e-9
+    # transport (copy mode only): fixed per-batch handoff overhead
+    # (pickling dispatch, queue bookkeeping, tensor reassembly)
+    transport_per_batch: float = 150e-6
 
     def fill_seconds(self, compressed_bytes: int, values_decoded: int) -> float:
         """Fill CPU seconds: fetch/decrypt/decompress + value decode."""
@@ -65,4 +118,15 @@ class ReaderCostModel:
         return (
             values_processed * self.process_per_value
             + rows_processed * self.process_per_row
+        )
+
+    def transport_seconds(self, wire_bytes: int, batches: int = 1) -> float:
+        """Consumer-side handoff seconds for ``batches`` copied batches.
+
+        Charged only by the ``copy`` transport (see
+        :class:`TransportSpec`); the shm path's charge is zero.
+        """
+        return (
+            batches * self.transport_per_batch
+            + wire_bytes * self.transport_copy_per_byte
         )

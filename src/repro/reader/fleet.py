@@ -28,22 +28,37 @@ return lazy iterators: a consumer that trains while iterating overlaps
 reader decode with trainer steps, which is what the pipeline's streaming
 mode does.
 
-Two executors share this plan.  ``"process"`` runs workers as real
+Three executors share this plan.  ``"process"`` runs workers as real
 ``multiprocessing`` processes — actual CPU parallelism, the production
-shape.  ``"inprocess"`` runs the same shards sequentially in the calling
-process — deterministic, dependency-free, what tests and ``num_readers=1``
-use.  ``"auto"`` picks between them, falling back to in-process if the
+shape, and the authority on *measured* wall/queue times.  ``"inprocess"``
+runs the same shards sequentially in the calling process —
+deterministic, dependency-free, what tests and ``num_readers=1`` use.
+``"async"`` is a deterministic coroutine scheduler: it interleaves every
+shard worker in one process on a virtual clock, replaying the bounded
+prefetch queues (producers block on full queues, the consumer drains in
+shard order) as a discrete-event simulation — so its
+:class:`~repro.metrics.breakdown.QueueWaitBreakdown` is fully *modeled*
+(bit-reproducible) and a width-64 fleet runs in tier-1 time.  ``"auto"``
+picks between process and in-process, falling back to in-process if the
 platform cannot spawn processes.
+
+Batches cross the worker→trainer boundary under a
+:class:`~repro.reader.costmodel.TransportSpec`: the default ``copy``
+transport charges a modeled per-batch serialize/copy cost
+(``queue.transport``, ``bytes_copied``); ``shm`` models a zero-copy
+shared-memory handoff (zero charge, ``copies_avoided``).  The stream is
+bit-identical either way.
 
 Production reader workers also *fail*: processes crash mid-shard and get
 respawned, and overloaded hosts straggle.  :class:`FleetFaults` injects
 both deterministically — a crashed shard is re-scanned from the start by
 its respawned worker (batch content unchanged; the lost partial scan is
 charged as wasted CPU), and a straggler shard's modeled CPU is scaled by
-its slowdown factor.  Fault injection runs on the in-process executor so
-every fault's effect on the modeled accounting is bit-reproducible —
-which is what lets the scenario simulator (``repro.sim``) replay chaos
-runs exactly.
+its slowdown factor.  Fault injection runs on a deterministic executor —
+in-process, or async when requested (where stragglers additionally slow
+the virtual clock) — so every fault's effect on the modeled accounting
+is bit-reproducible, which is what lets the scenario simulator
+(``repro.sim``) replay chaos runs exactly, now at width 64+.
 """
 
 from __future__ import annotations
@@ -51,6 +66,7 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_lib
 import time
+from collections import deque
 from collections.abc import Iterable, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -59,13 +75,13 @@ from ..storage.dwrf import DwrfReader
 from ..storage.hive import HiveTable
 from .batch import Batch
 from .config import DataLoaderConfig
-from .costmodel import ReaderCostModel
+from .costmodel import ReaderCostModel, TransportSpec
 from .node import ReaderNode, ReaderReport
 from .shard import RowRangeShard, covering_files, plan_epoch
 
 __all__ = ["FleetFaults", "FleetReport", "ReaderFleet"]
 
-_EXECUTORS = ("auto", "process", "inprocess")
+_EXECUTORS = ("auto", "process", "inprocess", "async")
 _DONE = "__shard_done__"
 _ERROR = "__shard_error__"
 _WORKER_JOIN_TIMEOUT = 30.0
@@ -151,6 +167,9 @@ class FleetReport:
     workers: list[ReaderReport] = field(default_factory=list)
     queue: QueueWaitBreakdown = field(default_factory=QueueWaitBreakdown)
     executor_used: str = "inprocess"
+    #: why a requested "process" run degraded to "inprocess-fallback"
+    #: (the triggering exception's repr); empty when no fallback happened
+    fallback_reason: str = ""
     num_shards: int = 0
     wall_seconds: float = 0.0  # measured end-to-end run() time
     #: worker crashes injected (each shard re-scanned by a respawn)
@@ -178,6 +197,28 @@ class FleetReport:
     def modeled_samples_per_second(self) -> float:
         """Fleet throughput against the modeled parallel wall-clock."""
         wall = self.modeled_wall_seconds
+        if wall == 0:
+            return 0.0
+        return self.merged.samples / wall
+
+    @property
+    def modeled_delivered_wall_seconds(self) -> float:
+        """Modeled latency to *deliver* every batch to the consumer.
+
+        Decode is parallel (:attr:`modeled_wall_seconds` shrinks with
+        width) but the copy transport's per-batch handoff is serial at
+        the consumer (``queue.transport`` is width-independent), so
+        delivery finishes no earlier than either term.  This is the
+        Amdahl floor that bends wide-fleet scaling — and what the shm
+        transport removes.
+        """
+        return max(self.modeled_wall_seconds, self.queue.transport)
+
+    @property
+    def modeled_delivered_samples_per_second(self) -> float:
+        """Fleet throughput against the delivered (transport-floored)
+        wall-clock."""
+        wall = self.modeled_delivered_wall_seconds
         if wall == 0:
             return 0.0
         return self.merged.samples / wall
@@ -210,6 +251,8 @@ class FleetReport:
             self.executor_used = other.executor_used
         else:
             self.executor_used = "mixed"
+        if not self.fallback_reason:
+            self.fallback_reason = other.fallback_reason
         self.workers.extend(other.workers)
         self.queue.merge(other.queue)
         self.num_shards += other.num_shards
@@ -226,6 +269,7 @@ class FleetReport:
         """
         return {
             "executor_used": self.executor_used,
+            "fallback_reason": self.fallback_reason,
             "num_workers": len(self.workers),
             "num_shards": self.num_shards,
             "workers": [w.as_dict() for w in self.workers],
@@ -233,6 +277,12 @@ class FleetReport:
             "queue": self.queue.as_dict(),
             "modeled_wall_seconds": self.modeled_wall_seconds,
             "modeled_samples_per_second": self.modeled_samples_per_second,
+            "modeled_delivered_wall_seconds": (
+                self.modeled_delivered_wall_seconds
+            ),
+            "modeled_delivered_samples_per_second": (
+                self.modeled_delivered_samples_per_second
+            ),
             "crashes": self.crashes,
             "straggler_shards": self.straggler_shards,
             "wasted_cpu_seconds": self.wasted_cpu_seconds,
@@ -281,6 +331,7 @@ class ReaderFleet:
         prefetch_depth: int = 2,
         executor: str = "auto",
         faults: FleetFaults | None = None,
+        transport: TransportSpec | str | None = None,
     ):
         if num_readers <= 0:
             raise ValueError(
@@ -307,6 +358,9 @@ class ReaderFleet:
         self.prefetch_depth = prefetch_depth
         self.executor = executor
         self.faults = faults
+        self.transport = TransportSpec.coerce(
+            transport if transport is not None else TransportSpec()
+        )
         self.report = FleetReport()
 
     # -- public API --------------------------------------------------------
@@ -399,9 +453,10 @@ class ReaderFleet:
         executor = self.executor
         if executor == "auto":
             executor = "process" if total_shards > 1 else "inprocess"
-        if self.faults:
+        if self.faults and executor != "async":
             # Injected faults perturb the modeled accounting and must be
-            # bit-reproducible, so a faulted scan always runs in-process
+            # bit-reproducible, so a faulted scan runs on a deterministic
+            # executor: async when requested, in-process otherwise
             # (__init__ already rejects an explicit "process" request).
             executor = "inprocess"
         try:
@@ -413,24 +468,47 @@ class ReaderFleet:
                     ):
                         emitted += 1
                         yield batch
-                except OSError:
+                except OSError as exc:
                     # Platforms without working process/semaphore support
                     # (locked-down sandboxes) degrade to the serial
                     # executor rather than failing the job — but only if
                     # nothing was emitted yet, to never duplicate batches.
+                    # The triggering exception is recorded so a stored
+                    # run row can tell a fallback from an intentional
+                    # in-process run.
                     if emitted:
                         raise
                     self.report = FleetReport(
                         num_shards=total_shards,
                         executor_used="inprocess-fallback",
+                        fallback_reason=repr(exc),
                     )
                     yield from self._iter_inprocess(table.schema, sources())
+            elif executor == "async":
+                yield from self._iter_async(table.schema, sources())
             else:
                 yield from self._iter_inprocess(table.schema, sources())
         finally:
             self.report.wall_seconds = time.perf_counter() - started
 
     # -- executors ---------------------------------------------------------
+
+    def _account_transport(self, rep: ReaderReport) -> None:
+        """Charge the transport model for one worker's wire bytes.
+
+        Runs identically under every executor (the whole point: the
+        bytes accounting is part of the bit-identity contract).  The
+        copy transport charges modeled serialize seconds into
+        ``queue.transport`` and counts the bytes as copied; shm counts
+        the same bytes as avoided and charges nothing.
+        """
+        if self.transport.charges:
+            rep.bytes_copied += rep.send_bytes
+            self.report.queue.transport += self.cost_model.transport_seconds(
+                rep.send_bytes, rep.batches
+            )
+        else:
+            rep.copies_avoided += rep.send_bytes
 
     def _shard_sources(
         self, table: HiveTable, info, shards: list[RowRangeShard]
@@ -491,6 +569,105 @@ class ReaderFleet:
                 cpu.process *= scale
                 self.report.crashes += 1
                 self.report.wasted_cpu_seconds += wasted
+            self._account_transport(node.report)
+            self.report.workers.append(node.report)
+
+    def _iter_async(
+        self,
+        schema,
+        sources: Iterable[tuple[RowRangeShard, list[bytes], int, int]],
+    ) -> Iterator[Batch]:
+        """The deterministic coroutine executor: every shard worker
+        interleaved in one process on a virtual clock.
+
+        The discrete-event replay mirrors the process executor's shape
+        exactly — ``num_readers`` workers in flight, one bounded
+        prefetch queue (depth ``prefetch_depth``) per worker, consumer
+        draining workers in shard order, later shards' workers starting
+        as slots free — but time is *modeled*: a worker's per-batch cost
+        is its cost-model CPU delta (scaled by any injected
+        straggler/crash factors), producers block on full virtual
+        queues (``put_wait``), the consumer waits on empty ones
+        (``get_wait``), and the copy transport advances the consumer
+        clock per batch.  Batches, worker reports, and bytes accounting
+        are bit-identical to the other executors; the queue waits are
+        bit-*reproducible*, which the process executor's measured waits
+        can never be.
+        """
+        self.report.executor_used = "async"
+        if self.faults:
+            crashed, factors = self.faults.resolved(self.report.num_shards)
+        else:
+            crashed, factors = set(), {}
+        cm = self.cost_model
+        charges = self.transport.charges
+        depth = self.prefetch_depth
+        width = self.num_readers
+        consumer_clock = 0.0
+        # virtual time each drained worker's slot frees: shard
+        # ``position`` (>= width) starts when shard ``position - width``
+        # was fully popped, exactly like launch_one() in the process
+        # executor
+        slot_free: list[float] = []
+        for position, (_, blobs, local_start, local_stop) in enumerate(
+            sources
+        ):
+            start = slot_free[position - width] if position >= width else 0.0
+            readers = [DwrfReader(blob, schema) for blob in blobs]
+            node = ReaderNode(self.config, self.cost_model)
+            factor = factors.get(position, 1.0)
+            scale = (
+                1.0 + self.faults.lost_fraction
+                if self.faults and position in crashed
+                else 1.0
+            )
+            cost_scale = factor * scale
+            charged = 0.0  # node CPU already converted to virtual time
+            enqueued_at = start  # when the previous batch hit the queue
+            pops: deque[float] = deque()  # pop times freeing queue slots
+            last_pop = start
+            for index, batch in enumerate(
+                node.run(readers, row_start=local_start, row_stop=local_stop)
+            ):
+                total = node.report.cpu.total
+                finish = enqueued_at + (total - charged) * cost_scale
+                charged = total
+                if index >= depth:
+                    # the bounded queue is full: the producer holds this
+                    # batch until the consumer pops batch index - depth
+                    ready = max(finish, pops.popleft())
+                else:
+                    ready = finish
+                self.report.queue.put_wait += ready - finish
+                self.report.queue.get_wait += max(
+                    0.0, ready - consumer_clock
+                )
+                pop = max(consumer_clock, ready)
+                pops.append(pop)
+                last_pop = pop
+                consumer_clock = pop
+                if charges:
+                    consumer_clock += cm.transport_seconds(batch.wire_nbytes)
+                enqueued_at = ready
+                yield batch
+            slot_free.append(last_pop)
+            # end-of-shard fault mutations: the same arithmetic, in the
+            # same order, as _iter_inprocess — worker reports must stay
+            # bit-identical across the deterministic executors
+            cpu = node.report.cpu
+            if position in factors:
+                cpu.fill *= factor
+                cpu.convert *= factor
+                cpu.process *= factor
+                self.report.straggler_shards += 1
+            if position in crashed:
+                wasted = self.faults.lost_fraction * cpu.total
+                cpu.fill *= scale
+                cpu.convert *= scale
+                cpu.process *= scale
+                self.report.crashes += 1
+                self.report.wasted_cpu_seconds += wasted
+            self._account_transport(node.report)
             self.report.workers.append(node.report)
 
     def _iter_multiprocess(
@@ -553,6 +730,7 @@ class ReaderFleet:
                     self.report.queue.get_wait += time.perf_counter() - t0
                     if isinstance(item, tuple) and item and item[0] == _DONE:
                         _, worker_report, put_wait = item
+                        self._account_transport(worker_report)
                         self.report.workers.append(worker_report)
                         self.report.queue.put_wait += put_wait
                         break

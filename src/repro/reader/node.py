@@ -34,6 +34,12 @@ class ReaderReport:
     #: what fully-materialized (non-dedup) batches would have carried;
     #: equals send_bytes when no dedup groups are configured
     expanded_bytes: int = 0
+    #: wire bytes serialized through the worker->trainer queue (the
+    #: ``copy`` transport charged for them; zero under ``shm``)
+    bytes_copied: int = 0
+    #: wire bytes the ``shm`` transport handed over without a copy
+    #: (zero under ``copy``)
+    copies_avoided: int = 0
 
     @property
     def samples_per_cpu_second(self) -> float:
@@ -63,6 +69,8 @@ class ReaderReport:
         self.read_bytes += other.read_bytes
         self.send_bytes += other.send_bytes
         self.expanded_bytes += other.expanded_bytes
+        self.bytes_copied += other.bytes_copied
+        self.copies_avoided += other.copies_avoided
 
     def as_dict(self) -> dict:
         """Serialize to a plain JSON-ready dict (the run-store form)."""
@@ -73,6 +81,8 @@ class ReaderReport:
             "read_bytes": self.read_bytes,
             "send_bytes": self.send_bytes,
             "expanded_bytes": self.expanded_bytes,
+            "bytes_copied": self.bytes_copied,
+            "copies_avoided": self.copies_avoided,
             "bytes_saved": self.bytes_saved,
             "dedupe_byte_factor": self.dedupe_byte_factor,
             "samples_per_cpu_second": self.samples_per_cpu_second,

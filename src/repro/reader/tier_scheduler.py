@@ -72,13 +72,14 @@ from __future__ import annotations
 
 import math
 from collections.abc import Callable, Collection, Iterator, Mapping, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..metrics.tier import JobRoundStat, TierReport, TierRound
 from ..storage.hive import HiveTable
 from .autoscale import ReaderAutoscaler
 from .batch import Batch
 from .config import DataLoaderConfig
+from .costmodel import TransportSpec
 from .fleet import FleetFaults, FleetReport, ReaderFleet
 
 __all__ = ["allocate_workers", "TierJob", "SharedReaderTier"]
@@ -227,7 +228,10 @@ class TierJob:
             (reader-only jobs).
         prefetch_depth: bounded prefetch per leased worker.
         executor: fleet executor for the job's scans (``"auto"``,
-            ``"process"``, or ``"inprocess"``).
+            ``"process"``, ``"inprocess"``, or ``"async"``).
+        transport: batch-transport model for the job's scans (``copy``
+            charges modeled serialize cost and counts ``bytes_copied``;
+            ``shm`` is the zero-copy A/B).
         streaming: whether the job's consumer streams batches (False
             when it materializes first; carried into the job's overlap
             reports as bookkeeping).
@@ -253,6 +257,7 @@ class TierJob:
     consume: Callable[[int, Iterator[Batch]], float] | None = None
     prefetch_depth: int = 2
     executor: str = "auto"
+    transport: TransportSpec = field(default_factory=TransportSpec)
     streaming: bool = True
     weight: float = 1.0
     prepare: Callable[[int], None] | None = None
@@ -674,6 +679,7 @@ class SharedReaderTier:
             prefetch_depth=job.prefetch_depth,
             executor=job.executor,
             faults=faults,
+            transport=job.transport,
         )
         source = fleet.iter_epoch(
             job.table, list(job.epochs[epoch]), max_batches=job.max_batches
@@ -701,4 +707,6 @@ class SharedReaderTier:
             read_bytes=merged.read_bytes,
             decoded_bytes=merged.send_bytes,
             expanded_bytes=merged.expanded_bytes,
+            bytes_copied=merged.bytes_copied,
+            copies_avoided=merged.copies_avoided,
         )

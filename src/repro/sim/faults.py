@@ -12,6 +12,12 @@ The plan deliberately speaks rounds while a job's
 :class:`~repro.pipeline.spec.FaultSpec` speaks the job's own epochs:
 the scenario runner injects plan faults through the tier's round-level
 hook and falls back to any per-spec faults, so both surfaces compose.
+
+Injected :class:`~repro.reader.fleet.FleetFaults` need a deterministic
+executor: the serial ``inprocess`` one, or — for wide pools like the
+``wide-crash-resume`` scenario's width-64 tier — the ``async``
+coroutine executor, whose crash/straggler arithmetic is bit-identical
+to the serial executor at any width.
 """
 
 from __future__ import annotations

@@ -14,6 +14,10 @@ names the shapes the paper's production tier actually weathers:
   bit-identically.
 * ``stragglers`` — slow shards dilating rounds without changing
   batches.
+* ``wide-crash-resume`` — the crash/straggler/preempt shape on a
+  width-64 pool with every job on the async coroutine executor (the
+  only executor that makes a 64-wide faulted tier tier-1-fast), one
+  job streaming dedup batches over the shm transport.
 * ``churn`` — crashes, stragglers, a preemption, *and* a bursty
   mid-run arrival at once (the acceptance-criteria scenario).
 * ``burst`` — a quiet tier hit by a wave of late arrivals.
@@ -73,14 +77,23 @@ def _job(
     sessions: int = 60,
     recd: bool = False,
     dedup: bool = False,
+    executor: str = "inprocess",
+    transport: str = "copy",
+    batch_size: int = 32,
+    train_batches: int | None = 2,
 ) -> JobSpec:
     """A small, fast job spec for simulator scenarios.
 
-    Simulator jobs always use the deterministic in-process executor —
-    fault injection requires it — and tiny tables, so whole scenario
-    sweeps stay test-tier fast.  ``dedup=True`` makes the job's fleet
-    ship session-deduplicated IKJT batches (the streaming hot path)
-    without touching batch size or layout.
+    Simulator jobs need a deterministic executor — fault injection
+    requires one — and tiny tables, so whole scenario sweeps stay
+    test-tier fast.  The default is the serial in-process executor;
+    wide scenarios pass ``executor="async"`` (the coroutine scheduler,
+    equally deterministic but cheap at width 64) and lift the per-epoch
+    batch cap (``train_batches=None``) so a wide pool actually has a
+    shard per worker.  ``dedup=True`` makes the job's fleet ship
+    session-deduplicated IKJT batches (the streaming hot path) without
+    touching batch size or layout; ``transport`` picks the batch
+    handoff model (``copy`` or the zero-copy ``shm``).
     """
     return JobSpec(
         data=DataSpec(
@@ -89,9 +102,16 @@ def _job(
             num_sessions=sessions,
             seed=seed,
         ),
-        reader=ReaderSpec(num_readers=2, executor="inprocess", dedup=dedup),
+        reader=ReaderSpec(
+            num_readers=2,
+            executor=executor,
+            dedup=dedup,
+            transport=transport,
+        ),
         train=TrainSpec(
-            train_epochs=epochs, train_batches=2, batch_size=32
+            train_epochs=epochs,
+            train_batches=train_batches,
+            batch_size=batch_size,
         ),
     )
 
@@ -155,6 +175,58 @@ def _dedup_crash_resume(seed: int, scale: float) -> Scenario:
         ),
         jobs=jobs,
         plan=plan,
+    )
+
+
+def _wide_crash_resume(seed: int, scale: float) -> Scenario:
+    """The crash-resume shape on a width-64 pool, async executor.
+
+    Both jobs lift the per-epoch batch cap and shrink the batch size so
+    a 64-wide pool really fans out (an epoch never plans more shards
+    than batches); the async coroutine executor keeps the whole faulted
+    run deterministic and tier-1-fast at that width.  ``beta`` also
+    streams dedup batches over the zero-copy shm transport — the
+    compounding configuration — while a worker crashes, a shard
+    straggles, and ``alpha`` is preempted/checkpointed/resumed.
+    """
+    wide = dict(
+        epochs=3,
+        sessions=48,
+        executor="async",
+        batch_size=12,
+        train_batches=None,
+    )
+    jobs = (
+        ("alpha", _job(rm1(scale=scale), seed=seed + 1, **wide)),
+        (
+            "beta",
+            _job(
+                rm2(scale=scale),
+                seed=seed + 2,
+                dedup=True,
+                transport="shm",
+                **wide,
+            ),
+        ),
+    )
+    plan = FaultPlan(
+        crashes=(CrashFault(round=1, job="alpha", shard=7),),
+        stragglers=(
+            StragglerFault(round=2, job="beta", shard=13, factor=3.0),
+        ),
+        preemptions=(Preemption(round=2, job="alpha", resume_after=1),),
+        seed=seed,
+    )
+    return Scenario(
+        name="wide-crash-resume",
+        description=(
+            "width-64 async tier: crash + straggler + preempt/resume "
+            "with dedup+shm streaming on one job, bit-identical to the "
+            "uninterrupted run"
+        ),
+        jobs=jobs,
+        plan=plan,
+        width=64,
     )
 
 
@@ -253,6 +325,7 @@ def _burst(seed: int, scale: float) -> Scenario:
 SCENARIOS = {
     "crash-resume": _crash_resume,
     "dedup-crash-resume": _dedup_crash_resume,
+    "wide-crash-resume": _wide_crash_resume,
     "stragglers": _stragglers,
     "churn": _churn,
     "burst": _burst,

@@ -145,6 +145,7 @@ class TestCatalog:
             "crash-resume",
             "dedup-crash-resume",
             "stragglers",
+            "wide-crash-resume",
         ]
 
     def test_unknown_scenario_raises(self):
@@ -174,6 +175,55 @@ class TestRunnerGuards:
         result = runner.run()
         assert result.slo.preemptions == 0
         assert len(result.losses["alpha"]) == 4
+
+
+@pytest.mark.chaos
+class TestWideCrashResume:
+    """Satellite: the width-64 async scenario rides out the full fault
+    shape bit-identically (the chaos-tier acceptance for the async
+    executor at scale)."""
+
+    @pytest.fixture(scope="class")
+    def wide(self):
+        scenario = build_scenario("wide-crash-resume", seed=SEED, scale=SCALE)
+        runner = scenario.runner()
+        result = runner.run()
+        baseline = runner.baseline()
+        replay = scenario.runner().run()
+        return scenario, result, baseline, replay
+
+    def test_is_actually_wide_and_async(self, wide):
+        scenario, _, _, _ = wide
+        assert scenario.width == 64
+        assert all(
+            spec.reader.executor == "async" for _, spec in scenario.jobs
+        )
+        # per-epoch batch caps are lifted so the pool really fans out
+        assert all(
+            spec.train.train_batches is None for _, spec in scenario.jobs
+        )
+
+    def test_losses_bit_identical_to_uninterrupted_run(self, wide):
+        _, result, baseline, _ = wide
+        assert sorted(result.losses) == sorted(baseline)
+        for name, losses in result.losses.items():
+            assert losses  # the wide run must actually train
+            # The criterion: float-for-float equality, not approx.
+            assert losses == baseline[name]
+
+    def test_replay_reproduces_identical_fingerprint(self, wide):
+        _, result, _, replay = wide
+        assert replay.fingerprint() == result.fingerprint()
+
+    def test_every_fault_kind_fired(self, wide):
+        _, result, _, _ = wide
+        events = [ev["event"] for ev in result.trace]
+        assert "fleet_faults" in events
+        assert "preempt" in events
+        assert "resume" in events
+        assert result.slo.crashes == 1
+        assert result.slo.straggler_shards == 1
+        assert result.slo.preemptions == 1
 
 
 @pytest.mark.chaos
