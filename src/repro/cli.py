@@ -8,7 +8,8 @@ Usage::
     python -m repro pipeline --rm RM2 --recd
     python -m repro multijob --jobs 2 --num-readers 8
     python -m repro multijob --job RM1 --job RM2:recd:sessions=80
-    python -m repro simulate --scenario crash-resume --verify
+    python -m repro stream --num-partitions 4 --freshness-slo 120 --verify
+    python -m repro simulate --scenario stream-crash-resume --verify
     python -m repro list
 
 Each subcommand prints the same paper-style rows the benchmark harness
@@ -39,6 +40,7 @@ from .pipeline import (
     RetentionSpec,
     ScalingSpec,
     Session,
+    StreamSpec,
     TrainSpec,
     dedupe_factor_model_sweep,
     fig3_session_histogram,
@@ -471,6 +473,106 @@ def _cmd_multijob(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    """Run N streamed job clones through the live loop and report
+    landing progress plus freshness percentiles; with ``--verify``,
+    assert the losses are bit-identical to a land-everything-first
+    baseline (exit 1 on divergence)."""
+    if args.jobs <= 0:
+        raise SystemExit(f"--jobs must be positive, got {args.jobs}")
+    stream = StreamSpec(
+        interval_seconds=args.stream_interval,
+        land_latency_seconds=args.land_latency,
+        rows_per_file=args.stream_rows_per_file,
+    )
+
+    def build_session() -> Session:
+        specs = [
+            _spec_from_args(
+                args, shared=True, seed=args.seed + i, name=f"job{i}"
+            ).with_(stream=stream)
+            for i in range(args.jobs)
+        ]
+        return Session(
+            specs,
+            width=args.num_readers,
+            policy=args.policy,
+            scaling=(
+                ScalingSpec(
+                    target_stall=args.target_stall,
+                    max_readers=args.max_readers,
+                )
+                if args.autoscale
+                else None
+            ),
+            freshness_slo=args.freshness_slo,
+        )
+
+    session = build_session()
+    res = session.run()
+    tier = res.tier
+    mode = "RecD" if args.recd else "baseline"
+    print(
+        f"live loop: {len(res.jobs)} x {args.rm} ({mode}), width "
+        f"{args.num_readers}, policy {tier.policy}, interval "
+        f"{args.stream_interval:g} s + latency {args.land_latency:g} s"
+    )
+    for job in res.jobs:
+        lander = session.runtime(job.name).lander
+        fresh = tier.job_freshness(job.name)
+        window = (
+            f", window {args.retain_partitions}"
+            f" (dropped {len(job.dropped_partitions)})"
+            if args.retain_partitions is not None
+            else ""
+        )
+        print(
+            f"  {job.name}: landed {lander.landed_count}/"
+            f"{lander.num_partitions} micro-partitions{window}, "
+            f"{len(job.epoch_partitions)} epoch(s), "
+            f"{len(job.training.iterations)} steps, freshness "
+            f"p50 {fresh.p50_lag_seconds:.2f} s / "
+            f"p99 {fresh.p99_lag_seconds:.2f} s"
+        )
+    fresh = tier.freshness
+    slo_note = (
+        f" (SLO target {args.freshness_slo:g} s)"
+        if args.freshness_slo is not None
+        else ""
+    )
+    print(
+        f"  clock {session.tier.clock:.2f} modeled s over "
+        f"{len(tier.rounds)} rounds; tier freshness "
+        f"p50 {fresh.p50_lag_seconds:.2f} s / "
+        f"p99 {fresh.p99_lag_seconds:.2f} s / "
+        f"max {fresh.max_lag_seconds:.2f} s across "
+        f"{fresh.batches} batches{slo_note}"
+    )
+    if args.verify:
+        clean = build_session()
+        clean.prepare()
+        clean.land_all_streams()
+        clean.tier.run()
+        base = clean.collect()
+        diverged = sorted(
+            job.name
+            for job in res.jobs
+            if list(job.training.losses)
+            != list(base.job(job.name).training.losses)
+        )
+        if diverged:
+            print(
+                "VERIFY FAILED: live-loop losses diverged from the "
+                f"land-everything-first baseline for {diverged}"
+            )
+            return 1
+        print(
+            f"verify: {len(res.jobs)} job loss trajectories "
+            "bit-identical to the land-everything-first baseline"
+        )
+    return 0
+
+
 def _cmd_simulate(args) -> int:
     scenario = build_scenario(
         args.scenario, seed=args.seed, scale=args.scale
@@ -512,6 +614,13 @@ def _cmd_simulate(args) -> int:
         f"{slo.straggler_shards} straggler shard(s), "
         f"{slo.preemptions} preemption(s)"
     )
+    if slo.freshness.batches:
+        print(
+            f"  freshness p50 {slo.freshness_p50_seconds:8.2f} s  "
+            f"p99 {slo.freshness_p99_seconds:8.2f} s  "
+            f"max {slo.freshness.max_lag_seconds:8.2f} s  "
+            f"({slo.freshness.batches} streamed batches)"
+        )
     for j in slo.jobs:
         print(
             f"  {j.job:8s} rounds {j.admitted_round}-{j.finished_round}  "
@@ -616,6 +725,7 @@ _COMMANDS = {
     "partial": _cmd_partial,
     "pipeline": _cmd_pipeline,
     "multijob": _cmd_multijob,
+    "stream": _cmd_stream,
     "simulate": _cmd_simulate,
     "experiments": _cmd_experiments,
 }
@@ -710,6 +820,40 @@ def _add_retention_args(p) -> None:
                         "partition lands and the oldest is dropped")
 
 
+def _add_stream_args(p) -> None:
+    """The ``StreamSpec`` argument group plus live-loop knobs."""
+    g = p.add_argument_group(
+        "streaming (StreamSpec)",
+        "continuous ingestion: micro-partitions land on the modeled "
+        "clock while the jobs train (--num-partitions sets how many "
+        "ticks the trace is cut into)",
+    )
+    g.add_argument("--stream-interval", type=float, default=60.0,
+                   help="modeled seconds between micro-partition "
+                        "sealing ticks")
+    g.add_argument("--land-latency", type=float, default=5.0,
+                   help="modeled scribe->ETL->Hive landing latency "
+                        "after each tick seals")
+    g.add_argument("--stream-rows-per-file", type=int, default=256,
+                   help="DWRF rows-per-file for freshly streamed "
+                        "micro-partitions (the between-tick compactor "
+                        "rewrites them at the table's full size)")
+    g.add_argument("--freshness-slo", type=float, default=None,
+                   help="target p99 event-time -> trained-on lag in "
+                        "modeled seconds; the tier boosts allocation "
+                        "weight for jobs lagging past it")
+    g.add_argument("--jobs", type=int, default=2,
+                   help="streamed clones of the base job sharing the "
+                        "pool (seeds seed..seed+N-1)")
+    g.add_argument("--policy", choices=("stall_weighted", "round_robin"),
+                   default="stall_weighted",
+                   help="worker-allocation policy")
+    g.add_argument("--verify", action="store_true",
+                   help="also land the whole stream up front and rerun, "
+                        "asserting the live loop's losses are "
+                        "bit-identical (exit 1 on divergence)")
+
+
 def _add_experiments_parser(sub) -> None:
     """The ``experiments`` subcommand tree (matrix harness + store).
 
@@ -793,13 +937,15 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--sessions-large", type=int, default=50_000,
                        help="sessions for statistics-only experiments")
         p.add_argument("--seed", type=int, default=0)
-        if name in ("pipeline", "multijob"):
-            shared = name == "multijob"
+        if name in ("pipeline", "multijob", "stream"):
+            shared = name in ("multijob", "stream")
             _add_data_args(p, shared=shared)
             _add_reader_args(p, shared=shared)
             _add_train_args(p, shared=shared)
             _add_scaling_args(p, shared=shared)
             _add_retention_args(p)
+        if name == "stream":
+            _add_stream_args(p)
         if name == "simulate":
             g = p.add_argument_group(
                 "scenario (repro.sim)", "which chaos experiment to run"

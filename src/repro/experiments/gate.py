@@ -58,9 +58,16 @@ GATED_METRICS = (
     # bytes-savings: expanded/decoded — 1.0 without dedup, > 1 with the
     # dedup hot path on; a drop means the transport savings regressed
     "dedupe_byte_factor",
+    # tail event-time → trained-on lag for streamed live-loop runs:
+    # the freshness SLO the tier's lag-boosted weights defend
+    "freshness_p99_seconds",
 )
 
 _DIRECTIONS = ("higher", "lower")
+
+#: metrics where smaller is better; ``update_baselines`` stamps these
+#: as ``direction: lower`` unless the entry already overrides it
+_LOWER_IS_BETTER = ("freshness_p99_seconds",)
 
 
 def load_baselines(path: str | Path) -> dict:
@@ -253,6 +260,8 @@ def update_baselines(
                 for k, v in old_metrics.get(key, {}).items()
                 if k in ("tolerance", "direction")
             }
+            if name in _LOWER_IS_BETTER and "direction" not in entry:
+                entry["direction"] = "lower"
             # query() orders by created_at, so later records win
             entry["value"] = record.metrics[name]
             fresh[key] = entry

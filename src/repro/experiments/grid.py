@@ -44,6 +44,7 @@ from ..pipeline.spec import (
     ReaderSpec,
     RetentionSpec,
     ScalingSpec,
+    StreamSpec,
     TrainSpec,
 )
 
@@ -59,6 +60,7 @@ _SECTIONS = {
     "train": TrainSpec,
     "scaling": ScalingSpec,
     "retention": RetentionSpec,
+    "stream": StreamSpec,
     "checkpoint": CheckpointSpec,
     "faults": FaultSpec,
 }
@@ -370,6 +372,11 @@ def build_job_spec(values: Mapping) -> JobSpec:
         retention=(
             RetentionSpec(**sections["retention"])
             if sections["retention"]
+            else None
+        ),
+        stream=(
+            StreamSpec(**sections["stream"])
+            if sections["stream"]
             else None
         ),
         checkpoint=(

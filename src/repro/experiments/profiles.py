@@ -128,6 +128,28 @@ def _wide_points(
     return tuple(points)
 
 
+def _stream_points() -> tuple[dict, ...]:
+    """The fleet_scaling grid's streaming include points.
+
+    Micro-partitions land on the live clock while the job trains (the
+    continuous-training subsystem), so these points record the
+    ``freshness_p50/p99_seconds`` lag percentiles the regression gate
+    tracks — with and without a rolling retention window.  Everything
+    is modeled time, so the lags are bit-reproducible.
+    """
+    base = {
+        "reader.num_readers": 4,
+        "data.num_partitions": 3,
+        "train.train_epochs": 3,
+        "stream.interval_seconds": 60.0,
+        "stream.land_latency_seconds": 5.0,
+    }
+    return (
+        {"label": "stream-live", **base},
+        {"label": "stream-retained", **base, "retention.window": 2},
+    )
+
+
 def _build_profile(
     name: str,
     description: str,
@@ -201,7 +223,8 @@ def _build_profile(
                     "reader.dedup": [False, True],
                     "reader.transport": ["copy", "shm"],
                 },
-                include=_wide_points(wide_widths, wide_batch_size),
+                include=_wide_points(wide_widths, wide_batch_size)
+                + _stream_points(),
             ),
             GridSpec(
                 name="single_node",

@@ -59,6 +59,11 @@ def extract_metrics(result: PipelineResult, slo: SLOReport) -> dict:
         "loss_final": losses[-1] if losses else 0.0,
         "goodput_batches_per_second": slo.goodput_batches_per_second,
     }
+    if slo.freshness.batches:
+        # streamed live-loop runs only: the event-time → trained-on lag
+        # percentiles the freshness SLO defends
+        metrics["freshness_p50_seconds"] = slo.freshness_p50_seconds
+        metrics["freshness_p99_seconds"] = slo.freshness_p99_seconds
     if result.fleet is not None:
         metrics["fleet_modeled_samples_per_second"] = (
             result.fleet.modeled_samples_per_second

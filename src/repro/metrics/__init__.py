@@ -6,6 +6,7 @@ from .breakdown import (
     ReaderCpuBreakdown,
 )
 from .counters import Counters, MemoryTracker
+from .freshness import FreshnessReport
 from .overlap import OverlapReport
 from .scaling import ScalingDecision, ScalingTrace
 from .slo import JobSLO, SLOReport, percentile
@@ -14,6 +15,7 @@ from .tier import JobRoundStat, TierReport, TierRound
 __all__ = [
     "Counters",
     "MemoryTracker",
+    "FreshnessReport",
     "IterationBreakdown",
     "JobRoundStat",
     "JobSLO",

@@ -17,37 +17,15 @@ report, which the chaos test tier asserts.
 
 from __future__ import annotations
 
-import math
-from collections.abc import Mapping, Sequence
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from ..reader.fleet import FleetReport
+from .freshness import FreshnessReport
+from .stats import percentile
 from .tier import TierReport
 
 __all__ = ["JobSLO", "SLOReport", "percentile"]
-
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile — deterministic, no interpolation.
-
-    Args:
-        values: the sample (need not be sorted).
-        q: the percentile in ``[0, 100]``.
-
-    Returns:
-        The smallest sample value such that at least ``q`` percent of
-        the sample is <= it (``0.0`` for an empty sample).
-
-    Raises:
-        ValueError: if ``q`` is outside ``[0, 100]``.
-    """
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile q must be in [0, 100], got {q}")
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
 
 
 @dataclass(frozen=True)
@@ -100,6 +78,9 @@ class SLOReport:
         crashes: reader worker crashes injected over the run.
         straggler_shards: shard scans slowed by injected stragglers.
         preemptions: jobs preempted (and later resumed) by the driver.
+        freshness: per-batch event-time → trained-on lags merged over
+            every freshness-tracking (live-loop streaming) job; empty
+            for runs over static, pre-landed tables.
     """
 
     jobs: list[JobSLO] = field(default_factory=list)
@@ -109,6 +90,7 @@ class SLOReport:
     crashes: int = 0
     straggler_shards: int = 0
     preemptions: int = 0
+    freshness: FreshnessReport = field(default_factory=FreshnessReport)
 
     @classmethod
     def from_run(
@@ -174,6 +156,7 @@ class SLOReport:
                 f.straggler_shards for f in fleets.values()
             ),
             preemptions=preemptions,
+            freshness=report.freshness,
         )
 
     # -- the headline SLOs ---------------------------------------------------
@@ -214,6 +197,18 @@ class SLOReport:
             return 1.0
         return 1.0 - self.wasted_cpu_seconds / self.reader_cpu_seconds
 
+    @property
+    def freshness_p50_seconds(self) -> float:
+        """Median event-time → trained-on lag across streamed batches
+        (0.0 when no job tracked freshness)."""
+        return self.freshness.p50_lag_seconds
+
+    @property
+    def freshness_p99_seconds(self) -> float:
+        """Tail event-time → trained-on lag — the freshness SLO the
+        tier scheduler's lag-boosted weights defend."""
+        return self.freshness.p99_lag_seconds
+
     def as_dict(self) -> dict:
         """Serialize to plain dicts — stable across replays of the same
         seed, so two reports can be compared with ``==``."""
@@ -240,4 +235,5 @@ class SLOReport:
             "p50_wall_seconds": self.p50_wall_seconds,
             "p99_wall_seconds": self.p99_wall_seconds,
             "goodput_batches_per_second": self.goodput_batches_per_second,
+            "freshness": self.freshness.as_dict(),
         }

@@ -1,0 +1,37 @@
+"""Shared statistical primitives for report objects.
+
+Lives below every report module so any of them (``slo``,
+``freshness``, …) can use the same deterministic percentile without
+import cycles; :mod:`repro.metrics.slo` re-exports :func:`percentile`
+as its historical home.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["percentile"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile — deterministic, no interpolation.
+
+    Args:
+        values: the sample (need not be sorted).
+        q: the percentile in ``[0, 100]``.
+
+    Returns:
+        The smallest sample value such that at least ``q`` percent of
+        the sample is <= it (``0.0`` for an empty sample).
+
+    Raises:
+        ValueError: if ``q`` is outside ``[0, 100]``.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]

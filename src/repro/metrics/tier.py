@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .freshness import FreshnessReport
 from .overlap import OverlapReport
 from .scaling import ScalingTrace
 
@@ -58,6 +59,9 @@ class JobRoundStat:
             serialized through the worker→trainer queues this round.
         copies_avoided: wire bytes the job's ``shm`` transport handed
             over without a copy this round.
+        freshness: per-batch event-time → trained-on lags for this
+            round (streaming live-loop jobs only; ``None`` for jobs
+            training over static, pre-landed partitions).
     """
 
     job: str
@@ -71,6 +75,7 @@ class JobRoundStat:
     expanded_bytes: int = 0
     bytes_copied: int = 0
     copies_avoided: int = 0
+    freshness: FreshnessReport | None = None
 
     def __post_init__(self) -> None:
         if self.workers <= 0:
@@ -134,6 +139,15 @@ class TierRound:
         out = {s.job: s.workers for s in self.stats}
         out.update({name: 0 for name in self.skipped})
         return out
+
+    @property
+    def freshness(self) -> FreshnessReport:
+        """Every freshness-tracking job's lags this round, merged."""
+        total = FreshnessReport()
+        for s in self.stats:
+            if s.freshness is not None:
+                total.merge(s.freshness)
+        return total
 
     @property
     def modeled_wall_seconds(self) -> float:
@@ -218,6 +232,22 @@ class TierReport:
             total.merge(stat.overlap)
         return total
 
+    def job_freshness(self, job: str) -> FreshnessReport:
+        """The job's freshness lags merged across every round it ran."""
+        total = FreshnessReport()
+        for stat in self.job_rounds(job):
+            if stat.freshness is not None:
+                total.merge(stat.freshness)
+        return total
+
+    @property
+    def freshness(self) -> FreshnessReport:
+        """Every round's freshness lags merged (the tier-wide view)."""
+        total = FreshnessReport()
+        for rnd in self.rounds:
+            total.merge(rnd.freshness)
+        return total
+
     @property
     def per_job(self) -> dict[str, OverlapReport]:
         """Per-job merged overlap reports, keyed by job name."""
@@ -259,6 +289,7 @@ class TierReport:
                 for name, report in self.per_job.items()
             },
             "aggregate": self.aggregate.as_dict(),
+            "freshness": self.freshness.as_dict(),
             "scaling": (
                 self.scaling.as_dict() if self.scaling is not None else None
             ),

@@ -5,9 +5,9 @@ Two run surfaces share one engine:
 * the **spec surface** (preferred) — compose a
   :class:`~repro.pipeline.spec.JobSpec` from small spec dataclasses
   (:class:`DataSpec`, :class:`ReaderSpec`, :class:`TrainSpec`,
-  :class:`ScalingSpec`, :class:`RetentionSpec`, :class:`CheckpointSpec`,
-  :class:`FaultSpec`) and execute one or many with
-  :class:`~repro.pipeline.session.Session`;
+  :class:`ScalingSpec`, :class:`RetentionSpec`, :class:`StreamSpec`,
+  :class:`CheckpointSpec`, :class:`FaultSpec`) and execute one or many
+  with :class:`~repro.pipeline.session.Session`;
 * the **legacy surface** — the flat :class:`PipelineConfig` through
   :func:`run_pipeline` / :func:`run_multi_job`, thin adapters over the
   same ``Session`` (bit-identical outputs; see ``docs/api.md`` for the
@@ -57,6 +57,7 @@ from .spec import (
     ReaderSpec,
     RetentionSpec,
     ScalingSpec,
+    StreamSpec,
     TrainSpec,
     TransportSpec,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "TrainSpec",
     "ScalingSpec",
     "RetentionSpec",
+    "StreamSpec",
     "CheckpointSpec",
     "FaultSpec",
     "TransportSpec",

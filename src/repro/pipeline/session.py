@@ -56,6 +56,8 @@ from ..scribe.message import split_sample
 from ..scribe.sharding import ShardKeyPolicy
 from ..storage.hive import HiveTable, PartitionInfo
 from ..storage.tectonic import TectonicFS
+from ..streaming.lander import StreamLander, plan_stream_windows
+from ..streaming.live import LiveLoop
 from ..trainer.checkpoint import ModelStore
 from ..trainer.model import DLRM, DLRMConfig
 from .config import PipelineConfig
@@ -417,7 +419,57 @@ class JobRuntime:
             model_store.load(ckpt.restore_from, self.trainer.model)
         start = self.start_epoch
         self.partitions: list[PartitionInfo] = []
-        if spec.retention is None:
+        #: the job's live-landing engine (streaming jobs only)
+        self.lander: StreamLander | None = None
+        ready = None
+        if spec.stream is not None:
+            lander = StreamLander(spec)
+            self.lander = lander
+            self.table = lander.table
+            self.samples = lander.samples
+            self.scribe_stats = lander.scribe.stats
+            self.ingest_bytes = lander.ingest_bytes
+            self.partitions = lander.partitions
+            windows = plan_stream_windows(
+                spec.data.num_partitions,
+                (
+                    spec.retention.window
+                    if spec.retention is not None
+                    else None
+                ),
+                spec.train.train_epochs,
+            )
+            self.epochs = [[f"p{i}" for i in w] for w in windows[start:]]
+            partition_rows = lander.partition_rows()
+            _validate_epoch_batches(
+                spec, [partition_rows[p] for p in self.epochs[0]]
+            )
+            table = self.table
+
+            def ready(epoch: int) -> bool:
+                """Data gate: this epoch's window ends at a
+                micro-partition the lander may not have landed yet
+                (``epoch`` indexes this registration's plan, so a
+                resumed job offsets into the full window schedule)."""
+                return lander.landed_count > windows[start + epoch][-1]
+
+            if spec.retention is not None:
+
+                def prepare(epoch: int) -> None:
+                    """Age out micro-partitions behind this epoch's
+                    window — the lander lands on the clock; retention
+                    only ever drops."""
+                    lo = windows[start + epoch][0]
+                    for name in [
+                        p
+                        for p in list(table.partitions)
+                        if int(p[1:]) < lo
+                    ]:
+                        table.drop_partition(name)
+
+            else:
+                prepare = None
+        elif spec.retention is None:
             (
                 self.table,
                 self.scribe_stats,
@@ -509,7 +561,16 @@ class JobRuntime:
             weight=spec.weight,
             prepare=prepare,
             partition_rows=partition_rows,
+            ready=ready,
+            track_freshness=self.lander is not None,
         )
+
+    def _sync_stream(self) -> None:
+        """Refresh the transport accounting a streaming job accrues
+        tick by tick (static jobs snapshot it at build time)."""
+        if self.lander is not None:
+            self.scribe_stats = self.lander.scribe.stats
+            self.ingest_bytes = self.lander.ingest_bytes
 
     @property
     def snapshot_name(self) -> str:
@@ -538,6 +599,7 @@ class JobRuntime:
         self, fleet: FleetReport, report: TierReport
     ) -> JobResult:
         """This job's share of a multi-job session's result."""
+        self._sync_stream()
         return JobResult(
             name=self.name,
             config=self.spec.to_legacy(),
@@ -554,6 +616,7 @@ class JobRuntime:
         self, fleet: FleetReport, report: TierReport, wall_seconds: float
     ) -> PipelineResult:
         """A single-job session's result, in run_pipeline's shape."""
+        self._sync_stream()
         training = self.trainer.report
         # Both streaming modes attribute the same end-to-end loop wall
         # so the A/B is comparable: in the materialized mode the
@@ -616,6 +679,7 @@ class Session:
         scaling: ScalingSpec | None = None,
         names: Sequence[str] | None = None,
         model_store: ModelStore | None = None,
+        freshness_slo: float | None = None,
     ):
         """Configure the session.
 
@@ -632,6 +696,10 @@ class Session:
             model_store: snapshot store for checkpoint/resume; required
                 by :meth:`preempt` and by any spec whose
                 ``CheckpointSpec`` restores a snapshot.
+            freshness_slo: target p99 event-time → trained-on lag in
+                modeled seconds for streaming jobs; the tier boosts
+                the allocation weight of jobs lagging past it (see
+                :class:`~repro.reader.tier_scheduler.SharedReaderTier`).
 
         Raises:
             ValueError: on an empty job list, missing multi-job width,
@@ -673,14 +741,24 @@ class Session:
                 # a wide pool would trip the autoscaler's sanity check
                 # on behalf of a job that never mentioned the pool.
                 floor = [] if self._single else [self.width]
+                alphas = [
+                    s.ewma_alpha
+                    for s in per_job
+                    if s.ewma_alpha is not None
+                ]
                 scaling = ScalingSpec(
                     target_stall=min(s.target_stall for s in per_job),
                     max_readers=max(
                         [s.max_readers for s in per_job] + floor
                     ),
+                    # The most smoothing any job asked for wins: the
+                    # pool damps at least as hard as its jumpiest
+                    # job's request.
+                    ewma_alpha=min(alphas) if alphas else None,
                 )
         self.scaling = scaling
         self.model_store = model_store
+        self.freshness_slo = freshness_slo
         self.tier: SharedReaderTier | None = None
         self._runtimes: dict[str, JobRuntime] = {}
 
@@ -727,12 +805,82 @@ class Session:
                 scaling.max_readers if scaling is not None else 32
             ),
             fault_injector=injector,
+            freshness_slo=self.freshness_slo,
+            ewma_alpha=(
+                scaling.ewma_alpha if scaling is not None else None
+            ),
         )
         for name, spec in zip(self.names, self.specs):
             runtime = JobRuntime(name, spec, model_store=self.model_store)
             self._runtimes[name] = runtime
             self.tier.register(runtime.tier_job)
         return self.tier
+
+    # -- streaming ----------------------------------------------------------
+
+    @property
+    def has_streams(self) -> bool:
+        """Whether any registered job lands its table live."""
+        return any(
+            rt.lander is not None for rt in self._runtimes.values()
+        )
+
+    def pump_streams(self) -> list[str]:
+        """Land every micro-partition due at the tier's current clock.
+
+        Open-loop drivers call this at the top of every scheduling
+        iteration (the closed loop's
+        :class:`~repro.streaming.live.LiveLoop` does it for them), so
+        no round ever trains over a partition that had not landed at
+        the modeled moment the round started.
+
+        Returns:
+            Landed partition names across all streaming jobs, in land
+            order.
+
+        Raises:
+            RuntimeError: if the session was never prepared.
+        """
+        if self.tier is None:
+            raise RuntimeError("session not prepared; nothing to pump")
+        landed: list[str] = []
+        for rt in self._runtimes.values():
+            if rt.lander is not None:
+                landed.extend(rt.lander.pump(self.tier.clock))
+        return landed
+
+    def next_stream_event(self) -> float | None:
+        """The earliest pending landing time across every stream
+        (``None`` when all streams are drained).
+
+        Raises:
+            RuntimeError: if the session was never prepared.
+        """
+        if self.tier is None:
+            raise RuntimeError("session not prepared; no stream events")
+        events = [
+            rt.lander.next_event(self.tier.clock)
+            for rt in self._runtimes.values()
+            if rt.lander is not None
+        ]
+        return min(
+            (e for e in events if e is not None), default=None
+        )
+
+    def land_all_streams(self) -> None:
+        """Land every stream in full, now — the land-everything-first
+        baseline.  A live run's per-step losses are bit-identical to
+        calling this on a fresh session and running the plain closed
+        loop, which is the invariant ``repro stream --verify`` checks.
+
+        Raises:
+            RuntimeError: if the session was never prepared.
+        """
+        if self.tier is None:
+            raise RuntimeError("session not prepared; nothing to land")
+        for rt in self._runtimes.values():
+            if rt.lander is not None:
+                rt.lander.land_all()
 
     def runtime(self, name: str) -> JobRuntime:
         """The named job's live :class:`JobRuntime`.
@@ -871,6 +1019,12 @@ class Session:
         """
         tier = self.prepare()
         loop_started = time.perf_counter()
-        tier.run()
+        if self.has_streams:
+            # Live landing: interleave scribe ticks with scheduling
+            # rounds instead of running the closed loop over a
+            # pre-landed table.
+            LiveLoop(self).drive()
+        else:
+            tier.run()
         loop_wall = time.perf_counter() - loop_started
         return self.collect(loop_wall)

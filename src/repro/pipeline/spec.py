@@ -16,6 +16,9 @@ into small spec dataclasses, each owning one concern:
 * :class:`ScalingSpec` — whether and how the fleet/pool width adapts:
   target stall band and width bound.
 * :class:`RetentionSpec` — the rolling partition window.
+* :class:`StreamSpec` — continuous ingestion: the job's partitions
+  land as scribe-fed micro-partitions on the modeled clock *while* the
+  job trains, instead of all up front.
 * :class:`CheckpointSpec` — where training (re)starts: the snapshot to
   restore and the epoch the plan resumes from.
 * :class:`FaultSpec` — deterministic reader faults (shard crashes and
@@ -53,6 +56,7 @@ __all__ = [
     "TrainSpec",
     "ScalingSpec",
     "RetentionSpec",
+    "StreamSpec",
     "CheckpointSpec",
     "FaultSpec",
     "JobSpec",
@@ -210,10 +214,18 @@ class ScalingSpec:
         target_stall: grow the width while the observed reader-stall
             fraction exceeds this band.
         max_readers: upper bound on the width.
+        ewma_alpha: when set, the autoscaler decides on an exponential
+            moving average of the observed overlap signals instead of
+            each raw round (``new = alpha * observed + (1 - alpha) *
+            old``).  Live-loop rounds are noisy — a round that landed a
+            fresh micro-partition looks reader-bound, the next looks
+            trainer-bound — and smoothing stops the width flapping;
+            ``None`` keeps the historical raw-signal behaviour.
     """
 
     target_stall: float = 0.10
     max_readers: int = 32
+    ewma_alpha: float | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.target_stall < 1.0:
@@ -222,6 +234,11 @@ class ScalingSpec:
                 f"{self.target_stall}"
             )
         _require_positive("ScalingSpec.max_readers", self.max_readers)
+        if self.ewma_alpha is not None and not 0.0 < self.ewma_alpha <= 1.0:
+            raise ValueError(
+                "ScalingSpec.ewma_alpha must be in (0, 1], got "
+                f"{self.ewma_alpha}"
+            )
 
 
 @dataclass(frozen=True)
@@ -242,6 +259,60 @@ class RetentionSpec:
 
     def __post_init__(self) -> None:
         _require_positive("RetentionSpec.window", self.window)
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Continuous ingestion: land micro-partitions while the job trains.
+
+    Attaching a ``StreamSpec`` to a :class:`JobSpec` replaces the
+    land-everything-up-front table with a live one: the job's trace is
+    re-stamped onto a modeled event-time axis and cut into
+    ``DataSpec.num_partitions`` micro-partitions, each of which flows
+    through a scribe cluster (sealed at its tick boundary — see
+    :meth:`~repro.scribe.bus.ScribeShard.seal`), the ETL join, and a
+    Hive landing *on the tier's cost-model clock*, so later epochs
+    train on partitions that did not exist when the job was admitted.
+    Epoch ``e`` scans the rolling window ending at micro-partition
+    ``e`` (``RetentionSpec.window`` wide when retention is set), and a
+    :class:`~repro.metrics.freshness.FreshnessReport` measures the
+    event-time → trained-on lag per delivered batch.
+
+    Every quantity is modeled seconds, so a streamed run is exactly as
+    bit-reproducible as a static one: the realized partition sequence —
+    and therefore every loss — is bitwise identical to landing the same
+    stream up front and training over it.
+
+    Attributes:
+        interval_seconds: modeled event-time span of one
+            micro-partition; partition ``i`` seals at
+            ``(i + 1) * interval_seconds`` on the stream clock.
+        land_latency_seconds: modeled scribe→ETL→storage delay between
+            a tick sealing and its micro-partition becoming scannable.
+        rows_per_file: DWRF file size for micro-partitions (small on
+            purpose — landing latency beats layout; compaction restores
+            the table's full file size as the window slides past).
+        compact: rewrite each micro-partition at the table's full
+            ``rows_per_file`` once the next one lands (row order — and
+            hence losses — untouched; only file count and layout
+            change).
+    """
+
+    interval_seconds: float = 60.0
+    land_latency_seconds: float = 5.0
+    rows_per_file: int = 256
+    compact: bool = True
+
+    def __post_init__(self) -> None:
+        _require_positive(
+            "StreamSpec.interval_seconds", self.interval_seconds
+        )
+        if self.land_latency_seconds < 0:
+            raise ValueError(
+                "StreamSpec.land_latency_seconds must be non-negative, "
+                f"got {self.land_latency_seconds}"
+            )
+        _require_positive("StreamSpec.rows_per_file", self.rows_per_file)
 
 
 @dataclass(frozen=True)
@@ -384,6 +455,9 @@ class JobSpec:
         scaling: adaptive width when set; fixed width when ``None``.
         retention: rolling partition window when set; keep-everything
             when ``None``.
+        stream: continuous ingestion when set — partitions land as
+            scribe-fed micro-partitions on the modeled clock while the
+            job trains; ``None`` lands everything up front.
         checkpoint: snapshot restore + epoch offset when set; a fresh
             full run when ``None``.
         faults: deterministic reader faults when set; clean epochs
@@ -400,6 +474,7 @@ class JobSpec:
     train: TrainSpec = TrainSpec()
     scaling: ScalingSpec | None = None
     retention: RetentionSpec | None = None
+    stream: StreamSpec | None = None
     checkpoint: CheckpointSpec | None = None
     faults: FaultSpec | None = None
     weight: float = 1.0
@@ -590,8 +665,8 @@ class JobSpec:
         config can express; ``scaling=None``/``retention=None`` map to
         the flat defaults (``autoscale=False``,
         ``retain_partitions=None``).  ``weight``, ``name``,
-        ``track_updates``, ``reader.dedup``, and ``reader.transport``
-        have no flat-config home and are dropped.
+        ``track_updates``, ``reader.dedup``, ``reader.transport``, and
+        ``stream`` have no flat-config home and are dropped.
         """
         scaling = self.scaling or ScalingSpec()
         return PipelineConfig(
@@ -634,6 +709,7 @@ def spec_field_names() -> dict[str, list[str]]:
             TrainSpec,
             ScalingSpec,
             RetentionSpec,
+            StreamSpec,
             CheckpointSpec,
             FaultSpec,
             JobSpec,

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import math
 
+from ..metrics.breakdown import QueueWaitBreakdown
 from ..metrics.overlap import OverlapReport
 from ..metrics.scaling import ScalingDecision, ScalingTrace
 
@@ -56,6 +57,7 @@ class ReaderAutoscaler:
         max_readers: int = 32,
         shrink_patience: int = 2,
         shrink_trainer_stall: float = 0.75,
+        ewma_alpha: float | None = None,
     ):
         """Configure the controller.
 
@@ -71,6 +73,17 @@ class ReaderAutoscaler:
             shrink_trainer_stall: ``trainer_stall_fraction`` above which
                 an epoch counts as shrink-worthy (the trainer held the
                 pipeline and readers idled).
+            ewma_alpha: smoothing factor for the observed signals.
+                When set, the control law steers on exponentially
+                weighted moving averages of the measured wall,
+                reader-stall, trainer-busy, and producer queue-wait
+                seconds (``new = alpha * observed + (1 - alpha) *
+                old``) instead of each epoch's raw report, damping
+                single-epoch noise the same way the shrink hysteresis
+                damps flapping.  ``None`` (the default) steers on raw
+                observations.  Smoothing is pure arithmetic over
+                already-deterministic inputs, so decisions stay
+                bit-reproducible.
 
         Raises:
             ValueError: if any bound or threshold is out of range.
@@ -101,6 +114,12 @@ class ReaderAutoscaler:
             raise ValueError(
                 f"shrink_patience must be positive, got {shrink_patience}"
             )
+        if ewma_alpha is not None and not 0.0 < ewma_alpha <= 1.0:
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}"
+            )
+        self.ewma_alpha = ewma_alpha
+        self._ewma: dict[str, float] | None = None
         self.target_stall = target_stall
         self.min_readers = min_readers
         self.max_readers = max_readers
@@ -131,10 +150,11 @@ class ReaderAutoscaler:
         if epoch is None:
             epoch = len(self.trace.decisions)
         width = self.num_readers
-        rsf = overlap.reader_stall_fraction
-        tsf = overlap.trainer_stall_fraction
+        signal = self._smooth(overlap)
+        rsf = signal.reader_stall_fraction
+        tsf = signal.trainer_stall_fraction
 
-        action, new_width, reason = self._decide(overlap, width, rsf, tsf)
+        action, new_width, reason = self._decide(signal, width, rsf, tsf)
         self.num_readers = new_width
         self.trace.record(
             ScalingDecision(
@@ -148,6 +168,33 @@ class ReaderAutoscaler:
             )
         )
         return new_width
+
+    def _smooth(self, overlap: OverlapReport) -> OverlapReport:
+        """The control signal: the raw report, or — with ``ewma_alpha``
+        — a synthetic report over the smoothed measurements (the
+        fractions then derive from the smoothed seconds, so they stay
+        mutually consistent)."""
+        if self.ewma_alpha is None:
+            return overlap
+        raw = {
+            "wall": overlap.wall_seconds,
+            "stall": overlap.reader_stall_seconds,
+            "busy": overlap.trainer_busy_seconds,
+            "put_wait": overlap.queue.put_wait,
+        }
+        if self._ewma is None:
+            self._ewma = dict(raw)
+        else:
+            a = self.ewma_alpha
+            self._ewma = {
+                k: a * raw[k] + (1.0 - a) * self._ewma[k] for k in raw
+            }
+        return OverlapReport(
+            wall_seconds=self._ewma["wall"],
+            reader_stall_seconds=self._ewma["stall"],
+            trainer_busy_seconds=self._ewma["busy"],
+            queue=QueueWaitBreakdown(put_wait=self._ewma["put_wait"]),
+        )
 
     def _decide(
         self, overlap: OverlapReport, width: int, rsf: float, tsf: float

@@ -40,6 +40,10 @@ class ReaderReport:
     #: wire bytes the ``shm`` transport handed over without a copy
     #: (zero under ``copy``)
     copies_avoided: int = 0
+    #: per-batch event time: the newest row timestamp each delivered
+    #: batch carried (the freshness metric's "event" side; order is the
+    #: shard/serial batch order, which percentiles don't care about)
+    batch_event_times: list = field(default_factory=list)
 
     @property
     def samples_per_cpu_second(self) -> float:
@@ -71,6 +75,7 @@ class ReaderReport:
         self.expanded_bytes += other.expanded_bytes
         self.bytes_copied += other.bytes_copied
         self.copies_avoided += other.copies_avoided
+        self.batch_event_times.extend(other.batch_event_times)
 
     def as_dict(self) -> dict:
         """Serialize to a plain JSON-ready dict (the run-store form)."""
@@ -141,6 +146,9 @@ class ReaderNode:
             rep.expanded_bytes += batch.expanded_nbytes
             rep.samples += batch.batch_size
             rep.batches += 1
+            rep.batch_event_times.append(
+                max(row.timestamp for row in rows)
+            )
             yield batch
             if max_batches is not None and rep.batches >= max_batches:
                 return

@@ -74,6 +74,7 @@ import math
 from collections.abc import Callable, Collection, Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 
+from ..metrics.freshness import FreshnessReport
 from ..metrics.tier import JobRoundStat, TierReport, TierRound
 from ..storage.hive import HiveTable
 from .autoscale import ReaderAutoscaler
@@ -247,6 +248,16 @@ class TierJob:
             jobs land lazily via ``prepare``); admission validates the
             plan against this declared stream instead of the live
             table.
+        ready: optional data gate called as ``ready(next_epoch)`` at
+            the top of every round — ``False`` means the epoch's
+            partitions have not landed yet, so the job sits the round
+            out as *waiting* (not starved: it holds no next-round
+            priority and draws no workers).  Live-loop streaming jobs
+            gate on their lander's landing progress here.
+        track_freshness: record a per-round
+            :class:`~repro.metrics.freshness.FreshnessReport` from the
+            job's delivered batch event times against the tier's
+            modeled clock (live-loop streaming jobs).
     """
 
     name: str
@@ -262,6 +273,8 @@ class TierJob:
     weight: float = 1.0
     prepare: Callable[[int], None] | None = None
     partition_rows: Mapping[str, int] | None = None
+    ready: Callable[[int], bool] | None = None
+    track_freshness: bool = False
 
 
 class SharedReaderTier:
@@ -284,6 +297,8 @@ class SharedReaderTier:
         fault_injector: (
             Callable[[int, str, int], FleetFaults | None] | None
         ) = None,
+        freshness_slo: float | None = None,
+        ewma_alpha: float | None = None,
     ):
         """Configure the shared pool.
 
@@ -303,10 +318,23 @@ class SharedReaderTier:
                 :class:`~repro.reader.fleet.FleetFaults` crashes or
                 slows that job's workers for the round (``None`` = no
                 faults).
+            freshness_slo: target p99 event-time → trained-on lag in
+                modeled seconds.  When set, a freshness-tracking job
+                whose last observed p99 lag exceeds the target has its
+                scheduling weight boosted by ``lag / freshness_slo``
+                under ``stall_weighted``, pulling surplus workers
+                toward the jobs falling behind their data.  Purely a
+                wall-clock lever: batch content — and therefore every
+                loss — is unaffected.
+            ewma_alpha: smoothing factor for the tier autoscaler's
+                observed signals (see
+                :class:`~repro.reader.autoscale.ReaderAutoscaler`);
+                ``None`` steers on raw per-round observations.
 
         Raises:
-            ValueError: on a non-positive width, unknown policy, or —
-                with ``autoscale`` — ``max_readers < num_readers``.
+            ValueError: on a non-positive width, unknown policy, a
+                non-positive ``freshness_slo``, or — with
+                ``autoscale`` — ``max_readers < num_readers``.
         """
         if num_readers <= 0:
             raise ValueError(
@@ -321,12 +349,21 @@ class SharedReaderTier:
                 f"max_readers ({max_readers}) must be >= num_readers "
                 f"({num_readers}) when autoscale is on"
             )
+        if freshness_slo is not None and not freshness_slo > 0.0:
+            raise ValueError(
+                f"freshness_slo must be positive, got {freshness_slo}"
+            )
         self.num_readers = num_readers
         self.policy = policy
         self.autoscale = autoscale
         self.target_stall = target_stall
         self.max_readers = max_readers
         self.fault_injector = fault_injector
+        self.freshness_slo = freshness_slo
+        self.ewma_alpha = ewma_alpha
+        #: the tier's modeled clock: advances by each round's wall and
+        #: by :meth:`advance_clock` while the pool waits on data
+        self.clock = 0.0
         #: merged per-job FleetReports, populated by :meth:`run`
         self.job_fleets: dict[str, FleetReport] = {}
         self.report: TierReport | None = None
@@ -340,6 +377,7 @@ class SharedReaderTier:
         self._starved: set[str] = set()
         self._rounds: list[TierRound] = []
         self._cursor = 0
+        self._lag: dict[str, float] = {}
         #: epochs each preempted job had completed when it was removed,
         #: keyed by job name (re-registration does not clear the entry)
         self.preempted: dict[str, int] = {}
@@ -507,6 +545,7 @@ class SharedReaderTier:
                 # within two rounds
                 min_readers=max(1, math.ceil(len(self._jobs) / 2)),
                 max_readers=self.max_readers,
+                ewma_alpha=self.ewma_alpha,
             )
             if self.autoscale
             else None
@@ -522,15 +561,42 @@ class SharedReaderTier:
         self._starved = set()
         self._rounds = []
         self._cursor = 0
+        self._lag = {}
+        self.clock = 0.0
+
+    @property
+    def epochs_remaining(self) -> bool:
+        """Whether any registered job still has epochs to run."""
+        return any(
+            self._progress.get(name, 0) < len(job.epochs)
+            for name, job in self._jobs.items()
+        )
+
+    def advance_clock(self, to: float) -> float:
+        """Move the modeled clock forward to ``to`` (never backward).
+
+        A live-loop driver calls this when every remaining job is
+        gated on data: the pool sits idle until the next landing tick,
+        and that idle time is modeled as a pure clock jump (no round
+        is recorded, no wall is charged to any job).
+
+        Returns:
+            The clock after the jump.
+        """
+        self.clock = max(self.clock, to)
+        return self.clock
 
     def step(self) -> bool:
         """Run one scheduling round.
 
         Returns:
             ``True`` if a round ran; ``False`` when no registered job
-            has epochs remaining (nothing is recorded in that case, so
-            a driver may still :meth:`register` more work and step
-            again).
+            is *runnable* — every job either exhausted its epoch plan
+            or is gated on data by its ``ready`` hook (nothing is
+            recorded in that case, so a driver may still
+            :meth:`register` more work, land more data and
+            :meth:`advance_clock`, and step again; consult
+            :attr:`epochs_remaining` to tell the two apart).
 
         Raises:
             RuntimeError: if called before :meth:`start` or after
@@ -546,20 +612,31 @@ class SharedReaderTier:
             for name, job in self._jobs.items()
             if self._progress[name] < len(job.epochs)
         ]
-        if not active:
+        # Jobs whose next epoch's data has not landed yet sit the round
+        # out as waiting, not starved: they draw no workers and earn no
+        # next-round priority (priority is for jobs the *scheduler*
+        # skipped, not jobs the *stream* has not caught up to).
+        runnable = [
+            job
+            for job in active
+            if job.ready is None or job.ready(self._progress[job.name])
+        ]
+        if not runnable:
             return False
         alloc = allocate_workers(
             self._width,
-            [job.name for job in active],
+            [job.name for job in runnable],
             starved=self._starved,
             demand=self._demand,
-            weights={job.name: job.weight for job in active},
+            weights={
+                job.name: self._effective_weight(job) for job in runnable
+            },
             policy=self.policy,
             cursor=self._cursor,
         )
         self._cursor += 1
         stats = []
-        for job in active:
+        for job in runnable:
             workers = alloc[job.name]
             if workers == 0:
                 continue
@@ -576,6 +653,7 @@ class SharedReaderTier:
             skipped=sorted(self._starved),
         )
         self._rounds.append(rnd)
+        self.clock += rnd.modeled_wall_seconds
         if self._autoscaler is not None:
             self._width = self._autoscaler.observe(
                 rnd.aggregate, epoch=rnd.index
@@ -657,8 +735,20 @@ class SharedReaderTier:
         done = self._progress.pop(name, 0)
         self._demand.pop(name, None)
         self._starved.discard(name)
+        self._lag.pop(name, None)
         self.preempted[name] = done
         return done
+
+    def _effective_weight(self, job: TierJob) -> float:
+        """The job's scheduling weight, lag-boosted under a freshness
+        SLO: a tracking job whose last observed p99 lag overran the
+        target pulls proportionally more of the surplus pool."""
+        if self.freshness_slo is None:
+            return job.weight
+        lag = self._lag.get(job.name)
+        if lag is None:
+            return job.weight
+        return job.weight * max(1.0, lag / self.freshness_slo)
 
     def _run_job_epoch(
         self, job: TierJob, epoch: int, workers: int
@@ -697,6 +787,19 @@ class SharedReaderTier:
                 )
         merged = fleet.report.merged
         self.job_fleets[job.name].merge(fleet.report)
+        freshness = None
+        if job.track_freshness:
+            # The job's share of the round ends when the slower of its
+            # leased readers and its trainer does; every batch the
+            # round delivered counts as trained at that moment on the
+            # tier's modeled clock.
+            trained_at = self.clock + max(
+                merged.cpu.total / workers, busy
+            )
+            freshness = FreshnessReport.from_batches(
+                merged.batch_event_times, trained_at
+            )
+            self._lag[job.name] = freshness.p99_lag_seconds
         return JobRoundStat(
             job=job.name,
             workers=workers,
@@ -709,4 +812,5 @@ class SharedReaderTier:
             expanded_bytes=merged.expanded_bytes,
             bytes_copied=merged.bytes_copied,
             copies_avoided=merged.copies_avoided,
+            freshness=freshness,
         )

@@ -62,6 +62,8 @@ class ScribeShard:
         self._pending: list[bytes] = []
         self._pending_bytes = 0
         self._blocks: list[bytes] = []
+        #: how many sealed blocks :meth:`drain` has already handed out
+        self._drained = 0
         self.stats = ScribeStats()
 
     def append(self, message: bytes) -> None:
@@ -91,18 +93,67 @@ class ScribeShard:
         """Seal whatever is buffered, even below the block size."""
         self._seal_block()
 
+    def seal(self) -> int:
+        """Seal the partially-filled buffer at a tick boundary.
+
+        Streaming landers call this on the cost-model clock so a block
+        lands deterministically at the tick even when it never reached
+        the :data:`DEFAULT_BLOCK_BYTES` high-water mark.  Returns the
+        number of blocks sealed (0 when nothing was buffered).
+        """
+        before = self.stats.num_blocks
+        self._seal_block()
+        return self.stats.num_blocks - before
+
+    def drain(self) -> list[bytes]:
+        """Hand out messages from sealed, not-yet-drained blocks.
+
+        The incremental counterpart of :meth:`read_messages`: each call
+        returns only the blocks sealed since the previous drain, in seal
+        order, so a streaming lander can move one tick's messages
+        downstream without re-reading history.  Buffered-but-unsealed
+        messages are *not* included — seal first.
+
+        Raises:
+            ValueError: when there is nothing sealed to drain, with a
+                distinct message for "messages still buffered — call
+                seal() first" vs "shard is empty".
+        """
+        if self._drained == len(self._blocks):
+            if self._pending:
+                raise ValueError(
+                    f"shard {self.shard_id}: nothing sealed to drain; "
+                    f"{len(self._pending)} message(s) still buffered — "
+                    "call seal() first"
+                )
+            raise ValueError(
+                f"shard {self.shard_id} is empty: nothing to drain"
+            )
+        out: list[bytes] = []
+        for block in self._blocks[self._drained :]:
+            out.extend(self._decode_block(block))
+        self._drained = len(self._blocks)
+        return out
+
+    @staticmethod
+    def _decode_block(block: bytes) -> list[bytes]:
+        """One compressed block back into its framed messages."""
+        raw = zlib.decompress(block)
+        out: list[bytes] = []
+        pos = 0
+        while pos < len(raw):
+            size = int.from_bytes(raw[pos : pos + 4], "little")
+            pos += 4
+            out.append(raw[pos : pos + size])
+            pos += size
+        return out
+
     def read_messages(self) -> list[bytes]:
         """Decompress all sealed blocks back into messages (ETL ingest)."""
         self.flush()
         out: list[bytes] = []
         for block in self._blocks:
-            raw = zlib.decompress(block)
-            pos = 0
-            while pos < len(raw):
-                size = int.from_bytes(raw[pos : pos + 4], "little")
-                pos += 4
-                out.append(raw[pos : pos + size])
-                pos += size
+            out.extend(self._decode_block(block))
         return out
 
     @property
@@ -157,6 +208,13 @@ class ScribeCluster:
         for shard in self.shards:
             shard.flush()
 
+    def seal(self) -> int:
+        """Seal every shard's partial buffer at a tick boundary.
+
+        Returns the total number of blocks sealed across the cluster.
+        """
+        return sum(shard.seal() for shard in self.shards)
+
     # -- ETL-facing reads -----------------------------------------------------
 
     def read_all(self) -> list[bytes]:
@@ -164,6 +222,17 @@ class ScribeCluster:
         out: list[bytes] = []
         for shard in self.shards:
             out.extend(shard.read_messages())
+        return out
+
+    def drain_all(self) -> list[bytes]:
+        """Every not-yet-drained sealed message (shard order, seal
+        order) — one streaming tick's ETL ingest.  Shards with nothing
+        sealed are skipped; an all-empty cluster drains to ``[]``.
+        """
+        out: list[bytes] = []
+        for shard in self.shards:
+            if shard.stats.num_blocks > shard._drained:
+                out.extend(shard.drain())
         return out
 
     # -- accounting ---------------------------------------------------------

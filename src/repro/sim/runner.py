@@ -76,6 +76,7 @@ class ScenarioRunner:
         names=None,
         policy: str = "stall_weighted",
         model_store: ModelStore | None = None,
+        freshness_slo: float | None = None,
     ):
         """Configure the run.
 
@@ -88,6 +89,8 @@ class ScenarioRunner:
             policy: the tier's worker-allocation policy.
             model_store: snapshot store for preempted jobs; a fresh
                 in-simulator store is created when ``None``.
+            freshness_slo: target p99 event-time → trained-on lag for
+                streaming jobs (the tier's lag-boosted weights).
 
         Raises:
             ValueError: from Session validation (empty jobs, duplicate
@@ -104,6 +107,7 @@ class ScenarioRunner:
             policy=policy,
             names=names,
             model_store=self.model_store,
+            freshness_slo=freshness_slo,
         )
         clash = {a.name for a in plan.arrivals} & set(self.session.names)
         if clash:
@@ -226,8 +230,19 @@ class ScenarioRunner:
                         "resume_round": rnd + p.resume_after,
                     }
                 )
+            # Land every micro-partition the modeled clock has made due
+            # before scheduling: a round only ever trains over data
+            # that existed when it started.
+            session.pump_streams()
             if tier.step():
                 continue
+            if tier.epochs_remaining:
+                # Jobs are gated on data, not finished: jump the clock
+                # to the next landing tick and go around again.
+                nxt = session.next_stream_event()
+                if nxt is not None:
+                    tier.advance_clock(nxt)
+                    continue
             if pending_resumes or pending_arrivals:
                 # Nothing left to schedule but events still owed: the
                 # idle gap collapses — everything pending is due now.
@@ -279,7 +294,16 @@ class ScenarioRunner:
         clean = Session(
             specs, width=self.width, policy=self.policy, names=names
         )
-        result = clean.run()
+        if any(s.stream is not None for s in specs):
+            # Land-everything-first: the strongest reference for a
+            # streamed scenario — the live loop's losses must match a
+            # run whose whole stream was on disk before round one.
+            clean.prepare()
+            clean.land_all_streams()
+            clean.tier.run()
+            result = clean.collect()
+        else:
+            result = clean.run()
         return {
             job.name: list(job.training.losses) for job in result.jobs
         }

@@ -18,6 +18,11 @@ names the shapes the paper's production tier actually weathers:
   width-64 pool with every job on the async coroutine executor (the
   only executor that makes a 64-wide faulted tier tier-1-fast), one
   job streaming dedup batches over the shm transport.
+* ``stream-crash-resume`` — two live-loop streaming jobs whose
+  micro-partitions land on the modeled clock mid-run, weathering a
+  crash, a straggler, and a preempt/resume; losses must match the
+  land-everything-first baseline bit for bit (the CI stream-smoke
+  scenario).
 * ``churn`` — crashes, stragglers, a preemption, *and* a bursty
   mid-run arrival at once (the acceptance-criteria scenario).
 * ``burst`` — a quiet tier hit by a wave of late arrivals.
@@ -33,7 +38,14 @@ from dataclasses import dataclass
 
 from ..datagen.workloads import rm1, rm2, rm3
 from ..pipeline.config import RecDToggles
-from ..pipeline.spec import DataSpec, JobSpec, ReaderSpec, TrainSpec
+from ..pipeline.spec import (
+    DataSpec,
+    JobSpec,
+    ReaderSpec,
+    RetentionSpec,
+    StreamSpec,
+    TrainSpec,
+)
 from .faults import Arrival, CrashFault, FaultPlan, Preemption, StragglerFault
 from .runner import ScenarioRunner
 
@@ -50,6 +62,8 @@ class Scenario:
         jobs: ``(name, spec)`` pairs admitted up front.
         plan: the misfortune schedule.
         width: the shared pool's width.
+        freshness_slo: target p99 event-time → trained-on lag for
+            streaming jobs (``None`` = no lag-boosted weights).
     """
 
     name: str
@@ -57,6 +71,7 @@ class Scenario:
     jobs: tuple[tuple[str, JobSpec], ...]
     plan: FaultPlan
     width: int = 6
+    freshness_slo: float | None = None
 
     def runner(self) -> ScenarioRunner:
         """A fresh :class:`~repro.sim.runner.ScenarioRunner` for this
@@ -66,6 +81,7 @@ class Scenario:
             self.plan,
             width=self.width,
             names=[name for name, _ in self.jobs],
+            freshness_slo=self.freshness_slo,
         )
 
 
@@ -81,6 +97,9 @@ def _job(
     transport: str = "copy",
     batch_size: int = 32,
     train_batches: int | None = 2,
+    partitions: int = 1,
+    stream: StreamSpec | None = None,
+    retention: RetentionSpec | None = None,
 ) -> JobSpec:
     """A small, fast job spec for simulator scenarios.
 
@@ -100,6 +119,7 @@ def _job(
             workload=workload,
             toggles=RecDToggles.full() if recd else RecDToggles.baseline(),
             num_sessions=sessions,
+            num_partitions=partitions,
             seed=seed,
         ),
         reader=ReaderSpec(
@@ -113,6 +133,8 @@ def _job(
             train_batches=train_batches,
             batch_size=batch_size,
         ),
+        stream=stream,
+        retention=retention,
     )
 
 
@@ -230,6 +252,64 @@ def _wide_crash_resume(seed: int, scale: float) -> Scenario:
     )
 
 
+def _stream_crash_resume(seed: int, scale: float) -> Scenario:
+    """Live landing under fire: two streaming jobs, crash + preempt.
+
+    Both jobs train on micro-partitions that land on the modeled clock
+    *while* the tier schedules them — ``alpha`` over a rolling 2-tick
+    retention window, ``beta`` over the growing full history — and the
+    plan crashes a worker, straggles a shard, and preempts/resumes
+    ``alpha`` mid-stream.  The acceptance check: the stitched losses
+    must equal a run whose entire stream was landed before round one,
+    bit for bit, and the replayed fingerprint (including every
+    freshness lag) must be identical.
+    """
+    jobs = (
+        (
+            "alpha",
+            _job(
+                rm1(scale=scale),
+                seed=seed + 1,
+                epochs=5,
+                partitions=4,
+                stream=StreamSpec(interval_seconds=60.0),
+                retention=RetentionSpec(window=2),
+            ),
+        ),
+        (
+            "beta",
+            _job(
+                rm2(scale=scale),
+                seed=seed + 2,
+                epochs=4,
+                partitions=3,
+                stream=StreamSpec(
+                    interval_seconds=45.0, land_latency_seconds=10.0
+                ),
+            ),
+        ),
+    )
+    plan = FaultPlan(
+        crashes=(CrashFault(round=1, job="alpha", shard=0),),
+        stragglers=(
+            StragglerFault(round=2, job="beta", shard=1, factor=3.0),
+        ),
+        preemptions=(Preemption(round=2, job="alpha", resume_after=1),),
+        seed=seed,
+    )
+    return Scenario(
+        name="stream-crash-resume",
+        description=(
+            "micro-partitions land on the live clock while a crash, a "
+            "straggler, and a preempt/resume hit the tier; losses match "
+            "the land-everything-first baseline bit for bit"
+        ),
+        jobs=jobs,
+        plan=plan,
+        freshness_slo=120.0,
+    )
+
+
 def _stragglers(seed: int, scale: float) -> Scenario:
     """Slow shards only: wall dilates, batches never change."""
     jobs = (
@@ -326,6 +406,7 @@ SCENARIOS = {
     "crash-resume": _crash_resume,
     "dedup-crash-resume": _dedup_crash_resume,
     "wide-crash-resume": _wide_crash_resume,
+    "stream-crash-resume": _stream_crash_resume,
     "stragglers": _stragglers,
     "churn": _churn,
     "burst": _burst,

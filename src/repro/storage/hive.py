@@ -61,6 +61,10 @@ class HiveTable:
         self.partitions: dict[str, PartitionInfo] = {}
         #: names of partitions aged out via :meth:`drop_partition`
         self.dropped: list[str] = []
+        #: compressed bytes ever written, across drops and compactions
+        self.bytes_ever_landed = 0
+        #: number of small files merged away by :meth:`compact_partition`
+        self.files_compacted = 0
 
     def land_partition(
         self, partition: str, samples: list[Sample]
@@ -84,13 +88,15 @@ class HiveTable:
             info.raw_bytes += stats.raw_bytes
             info.compressed_bytes += stats.compressed_bytes
         self.partitions[partition] = info
+        self.bytes_ever_landed += info.compressed_bytes
         return info
 
-    def drop_partition(self, partition: str) -> PartitionInfo:
+    def drop_partition(self, partition: str) -> int:
         """Retention: delete an aged-out partition's files (§2.1).
 
-        Returns the dropped partition's metadata (useful for retention
-        bookkeeping); raises ``KeyError`` if the partition is not live.
+        Returns the freed byte count (the partition's compressed bytes,
+        for retention-aware storage accounting); raises ``KeyError`` if
+        the partition is not live.
         """
         info = self.partitions.pop(partition, None)
         if info is None:
@@ -101,12 +107,52 @@ class HiveTable:
         self.dropped.append(partition)
         for path in info.files:
             self.fs.delete(path)
-        return info
+        return info.compressed_bytes
+
+    def compact_partition(self, partition: str) -> int:
+        """Merge a partition's small files into ``rows_per_file`` files.
+
+        Streaming landers write micro-partitions as many small files;
+        as the retention window slides past, rewriting them at the
+        table's full file size keeps the file count bounded.  Row order
+        is preserved exactly, so readers see an identical row stream
+        (losses are untouched) — only the file layout and compressed
+        size change.  Returns the number of files merged away (0 when
+        the partition is already compact); raises ``KeyError`` if the
+        partition is not live.
+        """
+        if partition not in self.partitions:
+            raise KeyError(
+                f"partition {partition!r} is not live in table "
+                f"{self.name!r} (never landed, or dropped by retention); "
+                f"live: {self.live_partitions}"
+            )
+        old = self.partitions[partition]
+        want = max(1, -(-old.num_rows // self.rows_per_file))
+        if len(old.files) <= want:
+            return 0
+        rows = self.read_partition(partition)
+        order = list(self.partitions)
+        for path in old.files:
+            self.fs.delete(path)
+        del self.partitions[partition]
+        new = self.land_partition(partition, rows)
+        # land_partition appends at the end of the dict; restore the
+        # original landing order so live_partitions stays chronological.
+        self.partitions = {name: self.partitions[name] for name in order}
+        merged = len(old.files) - len(new.files)
+        self.files_compacted += merged
+        return merged
 
     @property
     def live_partitions(self) -> list[str]:
         """Names of the currently live partitions, in landing order."""
         return list(self.partitions)
+
+    @property
+    def bytes_live(self) -> int:
+        """Compressed bytes currently live across every partition."""
+        return sum(p.compressed_bytes for p in self.partitions.values())
 
     def open_readers(self, partition: str) -> list[DwrfReader]:
         """One reader per file of the partition (how a reader tier scans)."""

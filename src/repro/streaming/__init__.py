@@ -1,0 +1,23 @@
+"""Continuous online training: live landing on the modeled clock.
+
+Static runs land their whole table before the first scheduling round.
+This package closes the loop instead: a :class:`StreamLander` drains
+sealed scribe blocks into Hive micro-partitions as the tier's
+cost-model clock advances, and a :class:`LiveLoop` interleaves those
+landing ticks with the shared tier's scheduling rounds, so jobs train
+on partitions that did not exist when they were admitted.  Because
+every tick fires on modeled time and batch content depends only on row
+values and order, a live run's losses are bit-identical to landing the
+same stream up front (``Session.land_all_streams``) and training over
+it — the invariant the ``repro stream --verify`` gate asserts.
+"""
+
+from .lander import StreamLander, partition_slices, plan_stream_windows
+from .live import LiveLoop
+
+__all__ = [
+    "LiveLoop",
+    "StreamLander",
+    "partition_slices",
+    "plan_stream_windows",
+]

@@ -137,6 +137,81 @@ class TestDedupCrashResumeAcceptance:
         ) == 0
 
 
+@pytest.fixture(scope="module")
+def stream_crash_resume():
+    """One live-landing crash-resume run, its land-everything-first
+    baseline, and a seeded replay."""
+    scenario = build_scenario("stream-crash-resume", seed=SEED, scale=SCALE)
+    runner = scenario.runner()
+    result = runner.run()
+    baseline = runner.baseline()
+    replay = scenario.runner().run()
+    return scenario, result, baseline, replay
+
+
+class TestStreamCrashResumeAcceptance:
+    """Tentpole acceptance: micro-partitions landing on the live clock
+    while a crash, a straggler, and a preempt/resume hit the tier must
+    leave every loss trajectory bit-identical to a run whose whole
+    stream was on disk before round one."""
+
+    def test_every_job_streams(self, stream_crash_resume):
+        scenario, _, _, _ = stream_crash_resume
+        assert all(spec.stream is not None for _, spec in scenario.jobs)
+        assert scenario.freshness_slo is not None
+
+    def test_losses_bit_identical_to_land_first_baseline(
+        self, stream_crash_resume
+    ):
+        _, result, baseline, _ = stream_crash_resume
+        assert sorted(result.losses) == sorted(baseline)
+        for name, losses in result.losses.items():
+            assert losses  # every streamed job actually trained
+            # The criterion: float-for-float equality, not approx.
+            assert losses == baseline[name]
+
+    def test_replay_reproduces_identical_fingerprint(
+        self, stream_crash_resume
+    ):
+        _, result, _, replay = stream_crash_resume
+        assert replay.fingerprint() == result.fingerprint()
+
+    def test_every_fault_kind_fired(self, stream_crash_resume):
+        _, result, _, _ = stream_crash_resume
+        events = [ev["event"] for ev in result.trace]
+        assert "fleet_faults" in events
+        assert "preempt" in events
+        assert "resume" in events
+
+    def test_slo_reports_freshness(self, stream_crash_resume):
+        _, result, _, _ = stream_crash_resume
+        slo = result.slo
+        assert slo.freshness.batches > 0
+        assert (
+            0.0
+            < slo.freshness_p50_seconds
+            <= slo.freshness_p99_seconds
+            <= slo.freshness.max_lag_seconds
+        )
+        assert slo.freshness.as_dict() == result.slo.as_dict()["freshness"]
+
+    def test_cli_verify_passes(self):
+        from repro.cli import main
+
+        assert main(
+            [
+                "simulate",
+                "--scenario",
+                "stream-crash-resume",
+                "--seed",
+                str(SEED),
+                "--scale",
+                str(SCALE),
+                "--verify",
+            ]
+        ) == 0
+
+
 class TestCatalog:
     def test_names_are_sorted_and_complete(self):
         assert scenario_names() == [
@@ -145,6 +220,7 @@ class TestCatalog:
             "crash-resume",
             "dedup-crash-resume",
             "stragglers",
+            "stream-crash-resume",
             "wide-crash-resume",
         ]
 

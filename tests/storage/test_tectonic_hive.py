@@ -105,6 +105,60 @@ class TestHiveTable:
         with pytest.raises(KeyError):
             table.drop_partition("p")
 
+    def test_drop_partition_returns_the_freed_bytes(self):
+        fs = TectonicFS()
+        table = self._table(fs)
+        info = table.land_partition("p", _trace(40, seed=3))
+        freed = table.drop_partition("p")
+        assert freed == info.compressed_bytes > 0
+
+    def test_drop_unknown_partition_message(self):
+        table = self._table()
+        with pytest.raises(
+            KeyError, match="never landed, or already dropped"
+        ):
+            table.drop_partition("ghost")
+
+    def test_bytes_live_and_ever_landed_diverge_under_retention(self):
+        """The retention-aware ledger: ``bytes_ever_landed`` only grows,
+        ``bytes_live`` tracks what retention has not yet dropped."""
+        table = self._table()
+        a = table.land_partition("a", _trace(40, seed=1))
+        b = table.land_partition("b", _trace(40, seed=2))
+        landed = a.compressed_bytes + b.compressed_bytes
+        assert table.bytes_ever_landed == landed
+        assert table.bytes_live == landed
+        freed = table.drop_partition("a")
+        assert table.bytes_live == landed - freed == b.compressed_bytes
+        assert table.bytes_ever_landed == landed  # the ledger keeps it
+
+    def test_compact_partition_merges_small_files(self):
+        fs = TectonicFS()
+        small = HiveTable(
+            "t", _schema(), fs, rows_per_file=8, stripe_rows=4
+        )
+        rows = _trace(30, seed=7)
+        small.land_partition("p", rows)
+        micro_files = len(small.partitions["p"].files)
+        assert micro_files > 1
+        small.rows_per_file = 4096
+        merged = small.compact_partition("p")
+        assert merged == micro_files - 1
+        assert len(small.partitions["p"].files) == 1
+        # Row order is preserved exactly — readers see the same stream.
+        assert [s.sample_id for s in small.read_partition("p")] == [
+            s.sample_id for s in rows
+        ]
+        # Already compact: a second pass is a no-op.
+        assert small.compact_partition("p") == 0
+
+    def test_compact_unknown_partition_message(self):
+        table = self._table()
+        with pytest.raises(
+            KeyError, match="never landed, or dropped by retention"
+        ):
+            table.compact_partition("ghost")
+
     def test_partition_stored_bytes(self):
         fs = TectonicFS()
         table = self._table(fs)
